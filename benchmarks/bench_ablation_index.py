@@ -1,0 +1,83 @@
+"""Ablation: index-derived positions (paper Section 2.1.1).
+
+"If there is a clustered index over a column and a predicate on a value
+range, the index can be accessed to find the start and end positions that
+match the value range ... the original column values never have to be
+accessed." This ablation runs an LM-parallel query whose predicate hits the
+projection's primary sort key (RETURNFLAG) with the index fast path on and
+off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Predicate, SelectQuery, Strategy
+
+from .harness import format_table, record, run_point
+
+
+def returnflag_query(code: int) -> SelectQuery:
+    return SelectQuery(
+        projection="lineitem",
+        select=("returnflag", "quantity"),
+        predicates=(Predicate("returnflag", "=", code),),
+    )
+
+
+@pytest.mark.parametrize("use_indexes", [True, False], ids=["index", "scan"])
+def test_index_fast_path(benchmark, bench_db, use_indexes):
+    bench_db.use_indexes = use_indexes
+    try:
+        point = benchmark.pedantic(
+            run_point,
+            args=(bench_db, returnflag_query(1), Strategy.LM_PARALLEL),
+            rounds=3,
+            iterations=1,
+            warmup_rounds=1,
+        )
+    finally:
+        bench_db.use_indexes = True
+    benchmark.extra_info["simulated_ms"] = round(point["sim_ms"], 2)
+    benchmark.extra_info["values_scanned"] = point["stats"].values_scanned
+
+
+def test_index_report(benchmark, bench_db):
+    def sweep():
+        out = {}
+        for flag, name in ((True, "index-derived"), (False, "scanned")):
+            bench_db.use_indexes = flag
+            series = []
+            for code in (0, 1, 2):
+                point = run_point(
+                    bench_db, returnflag_query(code), Strategy.LM_PARALLEL
+                )
+                series.append((code, point["wall_ms"], point["sim_ms"]))
+            out[name] = series
+        bench_db.use_indexes = True
+        return out
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        "ablation_index",
+        format_table(
+            "Ablation: positions from clustered index vs predicate scan "
+            "(RETURNFLAG = code; model-replay ms)",
+            table,
+        ),
+    )
+    # Index-derived positions never lose. The time margin is small here
+    # because the sort-key column is RLE (3 runs — scanning it is nearly
+    # free); the structural claim is that the predicate column is never
+    # read at all, which the point benchmarks assert via values_scanned.
+    for indexed, scanned in zip(table["index-derived"], table["scanned"]):
+        assert indexed[2] <= scanned[2]
+
+    bench_db.use_indexes = True
+    with_index = run_point(bench_db, returnflag_query(1), Strategy.LM_PARALLEL)
+    bench_db.use_indexes = False
+    with_scan = run_point(bench_db, returnflag_query(1), Strategy.LM_PARALLEL)
+    bench_db.use_indexes = True
+    assert with_index["stats"].extra.get("index_lookups") == 1
+    # "The original column values never have to be accessed."
+    assert with_index["stats"].values_scanned < with_scan["stats"].values_scanned

@@ -1,0 +1,92 @@
+"""Extension experiment: outer-table input strategies for joins.
+
+The paper (end of Section 4.3) states but does not plot the rule for the
+join's *left* input: "if the join is highly selective or if the join results
+will be aggregated, a late materialization strategy should be used.
+Otherwise, EM-parallel should be used." This bench produces the missing
+figure: LATE vs EARLY outer input across the outer predicate's selectivity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import JoinQuery, Predicate, RightTableStrategy
+
+from .harness import POINTS, SWEEP, format_table, record, run_point
+
+
+def join_query(
+    db, selectivity: float, left_strategy: str, aggregated: bool = False
+) -> JoinQuery:
+    from repro import AggSpec
+
+    n_customer = db.projection("customer").n_rows
+    x = max(int(selectivity * n_customer) + 1, 1)
+    extra = (
+        dict(
+            group_by="nationcode",
+            aggregates=(AggSpec("count", "nationcode"),),
+        )
+        if aggregated
+        else {}
+    )
+    return JoinQuery(
+        left="orders",
+        right="customer",
+        left_key="custkey",
+        right_key="custkey",
+        left_select=("shipdate",),
+        right_select=("nationcode",),
+        left_predicates=(Predicate("custkey", "<", x),),
+        left_strategy=left_strategy,
+        **extra,
+    )
+
+
+@pytest.mark.parametrize("selectivity", POINTS)
+@pytest.mark.parametrize("left", ["late", "early"])
+def test_left_strategy_point(benchmark, bench_db, left, selectivity):
+    query = join_query(bench_db, selectivity, left)
+    point = benchmark.pedantic(
+        run_point,
+        args=(bench_db, query, RightTableStrategy.MATERIALIZED),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["simulated_ms"] = round(point["sim_ms"], 2)
+
+
+def test_left_strategy_series(benchmark, bench_db):
+    def sweep():
+        out = {}
+        for aggregated in (False, True):
+            for left in ("late", "early"):
+                series = []
+                for sel in SWEEP:
+                    point = run_point(
+                        bench_db,
+                        join_query(bench_db, sel, left, aggregated),
+                        RightTableStrategy.MATERIALIZED,
+                    )
+                    series.append((sel, point["wall_ms"], point["sim_ms"]))
+                kind = "agg" if aggregated else "plain"
+                out[f"{kind}/left-{left}"] = series
+        return out
+
+    table = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    record(
+        "ext_left_join_strategy",
+        format_table(
+            "Extension: outer-input strategy for the join, plain vs"
+            " aggregated result (model-replay ms)",
+            table,
+        ),
+        table=table,
+    )
+    # The paper's rule: LATE wins when the join is highly selective...
+    assert table["plain/left-late"][0][2] < table["plain/left-early"][0][2]
+    # ...and whenever the join result is aggregated, at every selectivity.
+    for late, early in zip(table["agg/left-late"], table["agg/left-early"]):
+        assert late[2] < early[2]

@@ -1,0 +1,86 @@
+"""Extension experiment: vary the LINENUM predicate (the paper's 'vary Y').
+
+The paper fixes LINENUM < 7 (96% selectivity) and sweeps the SHIPDATE
+constant, noting only that "in other experiments (not presented in this
+paper) we varied Y and kept X constant and observed similar results", and
+that "if both the LINENUM and the SHIPDATE predicate have medium
+selectivities, LM-parallel can beat EM-parallel" (due to constructing only
+surviving tuples). This bench produces that un-plotted sweep: fixed medium
+SHIPDATE selectivity, Y = 1..7 over uncompressed LINENUM.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Predicate, SelectQuery, Strategy
+from repro.errors import UnsupportedOperationError
+
+from .harness import format_table, record, run_point, shipdate_constant
+
+Y_SWEEP = (1, 2, 3, 4, 5, 6, 7)
+X_SELECTIVITY = 0.5
+
+
+def query(y: int, encoding: str = "uncompressed") -> SelectQuery:
+    return SelectQuery(
+        projection="lineitem",
+        select=("shipdate", "linenum"),
+        predicates=(
+            Predicate("shipdate", "<", shipdate_constant(X_SELECTIVITY)),
+            Predicate("linenum", "<", y),
+        ),
+        encodings=(("linenum", encoding),),
+    )
+
+
+@pytest.mark.parametrize("y", (2, 4, 7))
+@pytest.mark.parametrize("strategy", list(Strategy), ids=lambda s: s.value)
+def test_vary_linenum_point(benchmark, bench_db, strategy, y):
+    point = benchmark.pedantic(
+        run_point,
+        args=(bench_db, query(y), strategy),
+        rounds=3,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    benchmark.extra_info["simulated_ms"] = round(point["sim_ms"], 2)
+    benchmark.extra_info["rows"] = point["rows"]
+
+
+def _sweep(bench_db, encoding):
+    out = {}
+    for strategy in Strategy:
+        series = []
+        for y in Y_SWEEP:
+            try:
+                point = run_point(bench_db, query(y, encoding), strategy)
+            except UnsupportedOperationError:  # pragma: no cover
+                series.append((y, None, None))
+                continue
+            series.append((y, point["wall_ms"], point["sim_ms"]))
+        out[strategy.value] = series
+    return out
+
+
+@pytest.mark.parametrize("encoding", ["uncompressed", "rle"])
+def test_vary_linenum_series(benchmark, bench_db, encoding):
+    table = benchmark.pedantic(
+        _sweep, args=(bench_db, encoding), rounds=1, iterations=1
+    )
+    record(
+        f"ext_vary_linenum_{encoding}",
+        format_table(
+            f"Extension: vary LINENUM < Y at SHIPDATE selectivity 0.5, "
+            f"LINENUM {encoding} (model-replay ms; x-axis is Y)",
+            table,
+        ),
+    )
+    # At the selective end (Y=1 matches nothing), pipelined strategies skip
+    # every LINENUM block and finish in ~no time.
+    assert table["lm-pipelined"][0][2] < table["em-parallel"][0][2]
+    if encoding == "rle":
+        # The paper's medium-selectivity note ("LM-parallel can beat
+        # EM-parallel") holds under the model when LINENUM stays compressed.
+        medium = Y_SWEEP.index(4)
+        assert table["lm-parallel"][medium][2] < table["em-parallel"][medium][2]

@@ -1,0 +1,12 @@
+"""Benchmark fixtures: one shared database per session."""
+
+from __future__ import annotations
+
+import pytest
+
+from .harness import build_database
+
+
+@pytest.fixture(scope="session")
+def bench_db(tmp_path_factory):
+    return build_database(tmp_path_factory.mktemp("bench_db"))

@@ -1,0 +1,64 @@
+"""Inner-table materialization strategies for joins (Figure 13).
+
+Run with::
+
+    python examples/join_strategies.py [scale]
+
+Runs the paper's star-schema join between orders and customer, varying the
+orders-side predicate selectivity, with the customer (inner) side delivered
+to the join three ways: pre-materialized tuples, an unmaterialized
+multi-column, or just the join-key column ("pure" late materialization).
+The pure-LM variant pays an out-of-order positional fetch for the inner
+payload columns — visible in both wall-clock and model-replay time.
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro import Database, JoinQuery, Predicate, RightTableStrategy, load_tpch
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    root = tempfile.mkdtemp(prefix="repro_join_")
+    db = Database(root)
+    load_tpch(db.catalog, scale=scale)
+    n_customer = db.projection("customer").n_rows
+    n_orders = db.projection("orders").n_rows
+    print(f"orders={n_orders} rows, customer={n_customer} rows (PK 1..n)")
+
+    print(
+        f"\n{'sel':>5} {'right-side input':>18} {'rows':>8} {'wall ms':>8} "
+        f"{'replay ms':>10} {'out-of-order fetches':>21}"
+    )
+    for selectivity in (0.1, 0.5, 0.9):
+        x = int(selectivity * n_customer) + 1
+        query = JoinQuery(
+            left="orders",
+            right="customer",
+            left_key="custkey",
+            right_key="custkey",
+            left_select=("shipdate",),
+            right_select=("nationcode",),
+            left_predicates=(Predicate("custkey", "<", x),),
+        )
+        for strategy in RightTableStrategy:
+            r = db.query(query, strategy=strategy, cold=True)
+            ooo = r.stats.extra.get("out_of_order_gathers", 0)
+            print(
+                f"{selectivity:>5.1f} {strategy.value:>18} {r.n_rows:>8} "
+                f"{r.wall_ms:>8.1f} {r.simulated_ms:>10.1f} {ooo:>21}"
+            )
+
+    print(
+        "\nAs in the paper: materialized and multi-column inner inputs are"
+        " comparable for an FK-PK join (every inner match materializes"
+        " anyway); sending only the join column forces the expensive"
+        " out-of-order positional fetch."
+    )
+
+
+if __name__ == "__main__":
+    main()

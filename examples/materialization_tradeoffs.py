@@ -1,0 +1,96 @@
+"""The paper's headline experiment in miniature (Figures 11 and 12).
+
+Run with::
+
+    python examples/materialization_tradeoffs.py [scale]
+
+Sweeps the shipdate predicate's selectivity over the paper's selection and
+aggregation queries, for each LINENUM encoding, printing runtime per strategy
+and where the winner flips. Shows the paper's conclusions live:
+
+* low selectivity or aggregation or light-weight compression -> late
+  materialization;
+* high-selectivity plain selection over uncompressed data -> early
+  materialization (EM-parallel).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+
+from repro import AggSpec, Database, Predicate, SelectQuery, Strategy, load_tpch
+from repro.errors import UnsupportedOperationError
+from repro.tpch.generator import SHIPDATE_MAX, SHIPDATE_MIN
+
+SWEEP = (0.05, 0.25, 0.5, 0.75, 0.95)
+
+
+def make_query(selectivity: float, encoding: str, aggregate: bool) -> SelectQuery:
+    x = int(SHIPDATE_MIN + selectivity * (SHIPDATE_MAX + 1 - SHIPDATE_MIN))
+    predicates = (
+        Predicate("shipdate", "<", x),
+        Predicate("linenum", "<", 7),
+    )
+    if aggregate:
+        return SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "sum(linenum)"),
+            predicates=predicates,
+            group_by="shipdate",
+            aggregates=(AggSpec("sum", "linenum"),),
+            encodings=(("linenum", encoding),),
+        )
+    return SelectQuery(
+        projection="lineitem",
+        select=("shipdate", "linenum"),
+        predicates=predicates,
+        encodings=(("linenum", encoding),),
+    )
+
+
+def sweep(db: Database, encoding: str, aggregate: bool) -> None:
+    kind = "aggregation" if aggregate else "selection"
+    print(f"\n{kind} query, LINENUM stored {encoding} (model-replay ms):")
+    print(f"{'sel':>6} " + " ".join(f"{s.value:>14}" for s in Strategy)
+          + f" {'winner':>14}")
+    for selectivity in SWEEP:
+        cells = []
+        best_name, best_ms = None, float("inf")
+        for strategy in Strategy:
+            try:
+                r = db.query(
+                    make_query(selectivity, encoding, aggregate),
+                    strategy=strategy,
+                    cold=True,
+                )
+            except UnsupportedOperationError:
+                cells.append(f"{'n/a':>14}")
+                continue
+            cells.append(f"{r.simulated_ms:>14.1f}")
+            if r.simulated_ms < best_ms:
+                best_name, best_ms = strategy.value, r.simulated_ms
+        print(f"{selectivity:>6.2f} " + " ".join(cells) + f" {best_name:>14}")
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    root = tempfile.mkdtemp(prefix="repro_tradeoffs_")
+    db = Database(root)
+    print(f"Loading scale {scale} ({int(6_000_000 * scale)} lineitem rows)...")
+    load_tpch(db.catalog, scale=scale)
+
+    for aggregate in (False, True):
+        for encoding in ("uncompressed", "rle", "bitvector"):
+            sweep(db, encoding, aggregate)
+
+    print(
+        "\nPaper heuristic check (Section 6): aggregated output, low"
+        " selectivity, or light-weight compression favour LATE"
+        " materialization; high-selectivity, non-aggregated, uncompressed"
+        " favours EARLY materialization."
+    )
+
+
+if __name__ == "__main__":
+    main()

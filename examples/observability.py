@@ -1,0 +1,76 @@
+"""Observability: explain, describe, and trace one query end to end.
+
+Run with::
+
+    python examples/observability.py
+
+Shows the three lenses the engine offers on a single query:
+
+1. ``explain`` — the analytical model's predicted cost per strategy (what
+   the optimizer sees *before* running anything);
+2. ``describe`` — the chosen strategy's physical operator tree;
+3. ``trace`` — what actually happened, operator by operator, with observed
+   cardinalities, next to the executed query's counter-level statistics.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import Database, Predicate, SelectQuery, load_tpch
+
+
+def main() -> None:
+    db = Database(tempfile.mkdtemp(prefix="repro_obs_"))
+    load_tpch(db.catalog, scale=0.01)
+    query = SelectQuery(
+        projection="lineitem",
+        select=("shipdate", "linenum"),
+        predicates=(
+            Predicate("shipdate", "<", 8700),
+            Predicate("linenum", "<", 4),
+        ),
+    )
+
+    print("1) explain — model predictions per strategy")
+    plan = db.explain(query)
+    for name, ms in sorted(plan["predictions"].items(), key=lambda kv: kv[1]):
+        marker = "   <- chosen" if name == plan["chosen"] else ""
+        print(f"   {name:>13}: {ms:7.2f} ms predicted{marker}")
+
+    print("\n2) describe — the chosen strategy's physical plan")
+    for line in db.describe(query, plan["chosen"]).splitlines():
+        print("   " + line)
+
+    print("\n3) trace — observed execution, operator by operator")
+    result = db.query(query, strategy=plan["chosen"], cold=True, trace=True)
+    for op, detail in result.trace:
+        pretty = ", ".join(f"{k}={v}" for k, v in detail.items())
+        print(f"   {op:<11} {pretty}")
+
+    stats = result.stats
+    print(
+        f"\n   -> {result.n_rows} rows in {result.wall_ms:.1f} ms wall / "
+        f"{result.simulated_ms:.1f} ms model-replay"
+    )
+    print(
+        f"   counters: {stats.block_reads} block reads, "
+        f"{stats.disk_seeks} seeks, {stats.blocks_skipped} blocks skipped, "
+        f"{stats.buffer_hits} pool hits, "
+        f"{stats.tuples_constructed} tuples constructed"
+    )
+
+    print("\nSame query, forced through the other extreme:")
+    other = (
+        "em-parallel" if plan["chosen"].startswith("lm") else "lm-parallel"
+    )
+    forced = db.query(query, strategy=other, cold=True, trace=True)
+    print(
+        f"   {other}: {forced.simulated_ms:.1f} ms replay, "
+        f"{forced.stats.tuples_constructed} tuples constructed "
+        f"(vs {stats.tuples_constructed})"
+    )
+
+
+if __name__ == "__main__":
+    main()

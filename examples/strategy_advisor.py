@@ -1,0 +1,116 @@
+"""Using the analytical model as a query-optimizer component (Section 6).
+
+Run with::
+
+    python examples/strategy_advisor.py
+
+The paper concludes that "using an analytical model to predict query
+performance can facilitate materialization strategy decision-making". This
+example puts that to work: for a mixed workload it prints each strategy's
+predicted cost, the model's pick, the observed cost of every strategy, and
+the regret (chosen vs best observed).
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import (
+    AggSpec,
+    Database,
+    Predicate,
+    SelectQuery,
+    Strategy,
+    load_tpch,
+)
+from repro.errors import UnsupportedOperationError
+from repro.tpch.generator import SHIPDATE_MAX, SHIPDATE_MIN
+
+
+def shipdate(selectivity: float) -> int:
+    return int(SHIPDATE_MIN + selectivity * (SHIPDATE_MAX + 1 - SHIPDATE_MIN))
+
+
+def workload() -> list[tuple[str, SelectQuery]]:
+    base = dict(projection="lineitem")
+    return [
+        (
+            "needle-in-haystack selection",
+            SelectQuery(
+                select=("shipdate", "linenum"),
+                predicates=(
+                    Predicate("shipdate", "<", shipdate(0.03)),
+                    Predicate("linenum", "<", 7),
+                ),
+                **base,
+            ),
+        ),
+        (
+            "wide-open selection (uncompressed)",
+            SelectQuery(
+                select=("shipdate", "linenum"),
+                predicates=(
+                    Predicate("shipdate", "<", shipdate(0.95)),
+                    Predicate("linenum", "<", 7),
+                ),
+                **base,
+            ),
+        ),
+        (
+            "aggregation over RLE data",
+            SelectQuery(
+                select=("shipdate", "sum(linenum)"),
+                predicates=(
+                    Predicate("shipdate", "<", shipdate(0.8)),
+                    Predicate("linenum", "<", 7),
+                ),
+                group_by="shipdate",
+                aggregates=(AggSpec("sum", "linenum"),),
+                encodings=(("linenum", "rle"),),
+                **base,
+            ),
+        ),
+        (
+            "bit-vector scan",
+            SelectQuery(
+                select=("shipdate", "linenum"),
+                predicates=(
+                    Predicate("shipdate", "<", shipdate(0.5)),
+                    Predicate("linenum", "=", 3),
+                ),
+                encodings=(("linenum", "bitvector"),),
+                **base,
+            ),
+        ),
+    ]
+
+
+def main() -> None:
+    db = Database(tempfile.mkdtemp(prefix="repro_advisor_"))
+    load_tpch(db.catalog, scale=0.02)
+
+    for title, query in workload():
+        print(f"\n=== {title} " + "=" * max(0, 50 - len(title)))
+        explain = db.explain(query)
+        for name, ms in sorted(
+            explain["predictions"].items(), key=lambda kv: kv[1]
+        ):
+            marker = "  <- chosen" if name == explain["chosen"] else ""
+            print(f"  predicted {name:>13}: {ms:8.2f} ms{marker}")
+
+        observed = {}
+        for strategy in Strategy:
+            try:
+                r = db.query(query, strategy=strategy, cold=True)
+            except UnsupportedOperationError:
+                continue
+            observed[strategy.value] = r.simulated_ms
+        best = min(observed, key=observed.get)
+        chosen_ms = observed[explain["chosen"]]
+        print(f"  observed best: {best} ({observed[best]:.2f} ms); "
+              f"chosen runs at {chosen_ms:.2f} ms "
+              f"(regret {chosen_ms / observed[best]:.2f}x)")
+
+
+if __name__ == "__main__":
+    main()

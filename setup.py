@@ -1,0 +1,9 @@
+"""Setuptools shim for environments without the `wheel` package.
+
+`pip install -e .` falls back to the legacy `setup.py develop` path when
+PEP 660 editable builds are unavailable; all real metadata lives in
+pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

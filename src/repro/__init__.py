@@ -1,0 +1,101 @@
+"""repro: a reproduction of "Materialization Strategies in a Column-Oriented
+DBMS" (Abadi, Myers, DeWitt, Madden — ICDE 2007).
+
+A C-Store-style column engine built from scratch in Python: 64 KB block
+storage with uncompressed/RLE/bit-vector encodings, a cost-accounted buffer
+pool, position-set algebra, multi-column intermediate results, the paper's
+operator set (DS1-DS4, AND, MERGE, SPC, aggregates, joins), the four
+materialization strategies (EM/LM x pipelined/parallel), the analytical cost
+model of Section 3, and a TPC-H-style workload generator.
+
+Quickstart::
+
+    from repro import Database, SelectQuery, Predicate, load_tpch
+
+    db = Database("./mydb")
+    load_tpch(db.catalog, scale=0.005)
+    result = db.query(
+        SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "linenum"),
+            predicates=(Predicate("shipdate", "<", 8700),
+                        Predicate("linenum", "<", 7)),
+        ),
+        strategy="auto",
+    )
+    print(result.strategy, result.n_rows, result.wall_ms)
+"""
+
+from .dtypes import (
+    DATE,
+    FLOAT64,
+    INT8,
+    INT16,
+    INT32,
+    INT64,
+    UINT8,
+    ColumnSchema,
+    ColumnType,
+)
+from .engine import Database, QueryResult
+from .errors import (
+    CatalogError,
+    EncodingError,
+    ExecutionError,
+    PlanError,
+    ReproError,
+    SQLError,
+    StorageError,
+    UnsupportedOperationError,
+)
+from .metrics import QueryStats
+from .model import PAPER_CONSTANTS, ModelConstants, calibrate_constants
+from .operators.aggregate import AggSpec
+from .planner import (
+    JoinQuery,
+    LeftTableStrategy,
+    RightTableStrategy,
+    SelectQuery,
+    Strategy,
+    choose_strategy,
+)
+from .predicates import InPredicate, Predicate
+from .tpch import load_tpch
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Database",
+    "QueryResult",
+    "QueryStats",
+    "SelectQuery",
+    "JoinQuery",
+    "Strategy",
+    "LeftTableStrategy",
+    "RightTableStrategy",
+    "Predicate",
+    "InPredicate",
+    "AggSpec",
+    "load_tpch",
+    "choose_strategy",
+    "ModelConstants",
+    "PAPER_CONSTANTS",
+    "calibrate_constants",
+    "ColumnSchema",
+    "ColumnType",
+    "INT8",
+    "INT16",
+    "INT32",
+    "INT64",
+    "UINT8",
+    "FLOAT64",
+    "DATE",
+    "ReproError",
+    "StorageError",
+    "EncodingError",
+    "CatalogError",
+    "PlanError",
+    "UnsupportedOperationError",
+    "ExecutionError",
+    "SQLError",
+]

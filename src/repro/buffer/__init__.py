@@ -1,0 +1,14 @@
+"""Buffer management: an LRU block pool over a cost-accounted disk model.
+
+Real payload bytes are read from real files, but every physical read is also
+charged against the paper's I/O model (SEEK and READ costs, amortised by the
+prefetch window PF), and buffer hits are tracked so the model's ``F`` — the
+fraction of a column resident in the pool — can be observed rather than
+assumed. This is the substitution that keeps the paper's I/O trade-offs
+visible at laptop scale (see DESIGN.md section 2).
+"""
+
+from .disk import DiskModel
+from .pool import BufferPool
+
+__all__ = ["DiskModel", "BufferPool"]

@@ -1,0 +1,98 @@
+"""LRU buffer pool for encoded block payloads.
+
+The pool caches raw (still-encoded) block payloads keyed by
+``(file path, block index)``. A miss reads the payload from disk, charges the
+disk model, and prefetches the next ``PF - 1`` blocks of the same file under
+the same seek — matching the ``|C|/PF * SEEK + |C| * READ`` I/O formula. A hit
+increments ``buffer_hits``; the hit fraction is the model's ``F``.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING
+
+from ..metrics import QueryStats
+from .disk import DiskModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..storage.column_file import ColumnFile
+
+DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
+
+
+class BufferPool:
+    """Byte-bounded LRU cache of encoded block payloads."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
+        disk: DiskModel | None = None,
+    ):
+        self.capacity_bytes = capacity_bytes
+        self.disk = disk if disk is not None else DiskModel()
+        self._cache: OrderedDict[tuple[str, int], bytes] = OrderedDict()
+        self._bytes = 0
+        self._last_read_index: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, column_file: "ColumnFile", index: int, stats: QueryStats) -> bytes:
+        """Return the payload of block *index*, reading through on a miss."""
+        key = (str(column_file.path), index)
+        payload = self._cache.get(key)
+        if payload is not None:
+            self._cache.move_to_end(key)
+            self.hits += 1
+            stats.buffer_hits += 1
+            return payload
+        self.misses += 1
+        self._fault(column_file, index, stats)
+        return self._cache[key]
+
+    def _fault(self, column_file: "ColumnFile", index: int, stats: QueryStats) -> None:
+        """Read block *index* (plus prefetch window) into the pool."""
+        path = str(column_file.path)
+        sequential = self._last_read_index.get(path) == index - 1
+        window = range(
+            index,
+            min(index + self.disk.prefetch_blocks, column_file.n_blocks),
+        )
+        for i, block_index in enumerate(window):
+            key = (path, block_index)
+            if key in self._cache:
+                continue
+            payload = column_file.read_payload(block_index)
+            # Only the first block of the window can pay a seek; the rest of
+            # the prefetch window rides the same head position.
+            self.disk.charge_read(stats, sequential=sequential or i > 0)
+            self._insert(key, payload)
+            self._last_read_index[path] = block_index
+
+    def _insert(self, key: tuple[str, int], payload: bytes) -> None:
+        self._cache[key] = payload
+        self._bytes += len(payload)
+        while self._bytes > self.capacity_bytes and len(self._cache) > 1:
+            _evicted_key, evicted = self._cache.popitem(last=False)
+            self._bytes -= len(evicted)
+
+    def resident_fraction(self, column_file: "ColumnFile") -> float:
+        """The model's F for one column: fraction of its blocks in the pool."""
+        if column_file.n_blocks == 0:
+            return 1.0
+        path = str(column_file.path)
+        resident = sum(1 for (p, _i) in self._cache if p == path)
+        return resident / column_file.n_blocks
+
+    def clear(self) -> None:
+        """Drop all cached blocks (simulates a cold buffer cache)."""
+        self._cache.clear()
+        self._bytes = 0
+        self._last_read_index.clear()
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._cache)

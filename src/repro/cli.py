@@ -1,0 +1,235 @@
+"""Command-line interface.
+
+Installed as the ``repro`` console script::
+
+    repro load-tpch ./db --scale 0.01
+    repro info ./db
+    repro query ./db "SELECT shipdate, linenum FROM lineitem \\
+        WHERE shipdate < '1994-01-01' AND linenum < 7" --strategy lm-parallel
+    repro explain ./db "SELECT ... "
+    repro calibrate
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import Database
+from .errors import ReproError
+
+
+def _add_db_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("db", help="database root directory")
+
+
+def _parse_encodings(pairs: list[str]) -> dict[str, str]:
+    out = {}
+    for pair in pairs:
+        column, sep, encoding = pair.partition("=")
+        if not sep:
+            raise SystemExit(
+                f"--encoding expects column=encoding, got {pair!r}"
+            )
+        out[column] = encoding
+    return out
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser for the `repro` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Column-store engine reproducing 'Materialization Strategies in"
+            " a Column-Oriented DBMS' (Abadi et al., ICDE 2007)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    load = sub.add_parser(
+        "load-tpch", help="generate and load the TPC-H-style projections"
+    )
+    _add_db_argument(load)
+    load.add_argument("--scale", type=float, default=0.01)
+    load.add_argument("--seed", type=int, default=42)
+
+    info = sub.add_parser("info", help="list projections, columns, encodings")
+    _add_db_argument(info)
+
+    query = sub.add_parser("query", help="run a SQL statement")
+    _add_db_argument(query)
+    query.add_argument("sql", help="the SQL text")
+    query.add_argument(
+        "--strategy",
+        default="auto",
+        help="em-pipelined | em-parallel | lm-pipelined | lm-parallel | "
+        "materialized | multi-column | single-column | auto",
+    )
+    query.add_argument(
+        "--encoding",
+        action="append",
+        default=[],
+        metavar="COLUMN=ENCODING",
+        help="scan a column in a specific stored encoding (repeatable)",
+    )
+    query.add_argument("--cold", action="store_true", help="clear buffer pool")
+    query.add_argument("--limit", type=int, default=20)
+    query.add_argument(
+        "--raw", action="store_true", help="print stored values, not decoded"
+    )
+
+    explain = sub.add_parser(
+        "explain", help="show per-strategy model predictions for a query"
+    )
+    _add_db_argument(explain)
+    explain.add_argument("sql")
+    explain.add_argument(
+        "--encoding", action="append", default=[], metavar="COLUMN=ENCODING"
+    )
+    explain.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show the per-operator cost breakdown of each strategy",
+    )
+    explain.add_argument(
+        "--plan",
+        action="store_true",
+        help="also print the chosen strategy's physical operator tree",
+    )
+
+    sub.add_parser(
+        "calibrate", help="measure this machine's Table 2 model constants"
+    )
+
+    reproduce = sub.add_parser(
+        "reproduce", help="regenerate one of the paper's evaluation figures"
+    )
+    reproduce.add_argument(
+        "figure", help="11a | 11b | 11c | 12a | 12b | 12c | 13"
+    )
+    reproduce.add_argument("--scale", type=float, default=0.05)
+    reproduce.add_argument("--seed", type=int, default=42)
+    return parser
+
+
+def cmd_load_tpch(args) -> int:
+    """`repro load-tpch`: generate and load the TPC-H-style projections."""
+    from .tpch import load_tpch
+
+    db = Database(args.db)
+    load_tpch(db.catalog, scale=args.scale, seed=args.seed)
+    for name in db.catalog.names():
+        print(f"loaded projection {name}: {db.projection(name).n_rows} rows")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """`repro info`: list projections, columns, encodings, indexes."""
+    db = Database(args.db)
+    names = db.catalog.names()
+    if not names:
+        print("no projections")
+        return 0
+    for name in names:
+        proj = db.projection(name)
+        keys = ", ".join(proj.sort_keys) or "unsorted"
+        print(f"{name}: {proj.n_rows} rows, sorted by ({keys})")
+        for col in proj.column_names:
+            pc = proj.column(col)
+            encodings = ", ".join(pc.encodings)
+            indexed = "  [indexed]" if pc.index_path else ""
+            print(f"  {col:>16} ({pc.schema.ctype.name}): {encodings}{indexed}")
+    return 0
+
+
+def cmd_query(args) -> int:
+    """`repro query`: run a SQL statement and print rows + costs."""
+    db = Database(args.db)
+    result = db.sql(
+        args.sql,
+        strategy=args.strategy,
+        encodings=_parse_encodings(args.encoding) or None,
+        cold=args.cold,
+    )
+    rows = result.rows() if args.raw else result.decoded_rows()
+    print(" | ".join(result.tuples.columns))
+    for row in rows[: args.limit]:
+        print(" | ".join(str(v) for v in row))
+    if result.n_rows > args.limit:
+        print(f"... ({result.n_rows - args.limit} more rows)")
+    print(
+        f"-- {result.n_rows} rows, strategy={result.strategy}, "
+        f"wall={result.wall_ms:.1f} ms, model-replay={result.simulated_ms:.1f} ms"
+    )
+    return 0
+
+
+def cmd_explain(args) -> int:
+    """`repro explain`: per-strategy model predictions for a statement."""
+    from .sql import bind, parse
+
+    db = Database(args.db)
+    query = bind(
+        parse(args.sql),
+        db.catalog,
+        encodings=_parse_encodings(args.encoding) or None,
+    )
+    plan = db.explain(query)
+    for name, ms in sorted(plan["predictions"].items(), key=lambda kv: kv[1]):
+        marker = "  <- chosen" if name == plan["chosen"] else ""
+        print(f"{name:>14}: {ms:9.2f} ms predicted{marker}")
+        if args.verbose:
+            detail = next(
+                d for s, d in plan["details"].items() if s.value == name
+            )
+            for step, step_ms in detail.breakdown().items():
+                print(f"{'':>18}{step:<24} {step_ms:8.2f} ms")
+    if args.plan and hasattr(query, "projection"):
+        print()
+        print(db.describe(query, strategy=plan["chosen"]))
+    return 0
+
+
+def cmd_calibrate(_args) -> int:
+    """`repro calibrate`: measure this machine's Table 2 constants."""
+    from .model import PAPER_CONSTANTS, calibrate_constants
+
+    measured = calibrate_constants()
+    paper = PAPER_CONSTANTS.as_dict()
+    mine = measured.as_dict()
+    print(f"{'constant':>10} {'paper':>12} {'this machine':>14}")
+    for key in ("BIC", "TICTUP", "TICCOL", "FC", "PF", "SEEK", "READ"):
+        print(f"{key:>10} {paper[key]:>12.4g} {mine[key]:>14.4g}")
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    """`repro reproduce`: regenerate one of the paper's figures."""
+    from .reproduce import reproduce_figure
+
+    reproduce_figure(args.figure, scale=args.scale, seed=args.seed)
+    return 0
+
+
+_COMMANDS = {
+    "load-tpch": cmd_load_tpch,
+    "info": cmd_info,
+    "query": cmd_query,
+    "explain": cmd_explain,
+    "calibrate": cmd_calibrate,
+    "reproduce": cmd_reproduce,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

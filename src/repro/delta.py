@@ -1,0 +1,263 @@
+"""The writable store: inserts, merge-on-read, and the tuple mover.
+
+C-Store pairs its read-optimized store (RS — the sorted, compressed
+projections everything else in this library implements) with a small
+writable store (WS) holding recent inserts, plus a "tuple mover" that
+periodically folds WS into RS. This module reproduces that architecture at
+the scale this library needs:
+
+* :class:`DeltaStore` — an in-memory WS keyed by logical table: rows are
+  validated against the table's schemas and buffered column-wise.
+* query-time merge — `Database.query` transparently folds pending rows into
+  selection and aggregation results (see :func:`delta_select` /
+  :func:`merge_aggregates`); joins require a merge first, as C-Store's early
+  releases did.
+* :meth:`Database.merge` — the tuple mover: rebuilds every projection of a
+  table from stored + pending rows (re-sorting, re-encoding, re-indexing),
+  then clears the WS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+
+from .errors import CatalogError, ExecutionError
+from .operators.aggregate import AggSpec, factorize_groups
+from .operators.tuples import TupleSet
+from .planner.logical import SelectQuery
+
+
+class DeltaStore:
+    """Writable store: pending rows per logical table, with an optional WAL.
+
+    When constructed with a directory, every accepted insert is appended to a
+    per-table write-ahead log (one JSON line per row, already
+    schema-encoded) before it becomes visible, and pending rows are recovered
+    from the logs on startup. The tuple mover truncates a table's log after
+    folding its rows into the read store.
+    """
+
+    def __init__(self, wal_directory=None):
+        from pathlib import Path
+
+        self._rows: dict[str, list[dict]] = {}
+        self._wal_dir = Path(wal_directory) if wal_directory else None
+        if self._wal_dir is not None:
+            self._wal_dir.mkdir(parents=True, exist_ok=True)
+            self._recover()
+
+    def _wal_path(self, table: str):
+        return self._wal_dir / f"{table}.wal" if self._wal_dir else None
+
+    def _recover(self) -> None:
+        import json
+
+        for path in sorted(self._wal_dir.glob("*.wal")):
+            rows = []
+            with open(path, encoding="utf-8") as f:
+                for line in f:
+                    line = line.strip()
+                    if line:
+                        rows.append(json.loads(line))
+            if rows:
+                self._rows[path.stem] = rows
+
+    def _append_wal(self, table: str, encoded_rows: list[dict]) -> None:
+        path = self._wal_path(table)
+        if path is None:
+            return
+        import json
+
+        with open(path, "a", encoding="utf-8") as f:
+            for row in encoded_rows:
+                f.write(json.dumps(row) + "\n")
+            f.flush()
+
+    def insert(self, table: str, rows: list[dict], schemas: dict) -> int:
+        """Validate and buffer *rows* (each a column->value dict).
+
+        Args:
+            table: logical table (anchor) name.
+            rows: one dict per row; every table column must be present.
+            schemas: column name -> :class:`~repro.dtypes.ColumnSchema`;
+                values are encoded through the schema (dates, dictionary
+                strings) exactly as the loader encodes bulk data.
+        """
+        expected = set(schemas)
+        encoded_rows = []
+        for row in rows:
+            if set(row) != expected:
+                missing = expected - set(row)
+                extra = set(row) - expected
+                raise CatalogError(
+                    f"insert into {table!r} must provide exactly columns "
+                    f"{sorted(expected)} (missing {sorted(missing)}, "
+                    f"unexpected {sorted(extra)})"
+                )
+            encoded_rows.append(
+                {col: schemas[col].encode_value(row[col]) for col in row}
+            )
+        self._append_wal(table, encoded_rows)
+        self._rows.setdefault(table, []).extend(encoded_rows)
+        return len(encoded_rows)
+
+    def count(self, table: str) -> int:
+        return len(self._rows.get(table, []))
+
+    def columns(self, table: str, schemas: dict) -> dict[str, np.ndarray]:
+        """Pending rows as column arrays (typed per schema)."""
+        rows = self._rows.get(table, [])
+        return {
+            col: np.array(
+                [r[col] for r in rows], dtype=schema.ctype.numpy_dtype
+            )
+            for col, schema in schemas.items()
+        }
+
+    def clear(self, table: str) -> None:
+        self._rows.pop(table, None)
+        path = self._wal_path(table)
+        if path is not None and path.exists():
+            path.unlink()
+
+    def tables(self) -> list[str]:
+        return sorted(t for t, rows in self._rows.items() if rows)
+
+
+def expand_avg(specs: tuple[AggSpec, ...]) -> tuple[list[AggSpec], dict]:
+    """Rewrite AVG into mergeable partials (SUM + COUNT).
+
+    Returns the internal spec list (deduplicated) and a mapping from each
+    original output name to how it is reconstructed after merging.
+    """
+    internal: list[AggSpec] = []
+    plan: dict[str, tuple] = {}
+
+    def ensure(spec: AggSpec) -> str:
+        for existing in internal:
+            if existing == spec:
+                return existing.output_name
+        internal.append(spec)
+        return spec.output_name
+
+    for spec in specs:
+        if spec.func == "avg":
+            s = ensure(AggSpec("sum", spec.column))
+            c = ensure(AggSpec("count", spec.column))
+            plan[spec.output_name] = ("avg", s, c)
+        else:
+            name = ensure(spec)
+            plan[spec.output_name] = ("direct", name)
+    return internal, plan
+
+
+def delta_select(
+    query: SelectQuery, columns: dict[str, np.ndarray]
+) -> dict[str, np.ndarray]:
+    """Evaluate the query's predicates over pending rows; return survivors."""
+    if not columns:
+        return {}
+    n = len(next(iter(columns.values())))
+    if query.disjuncts:
+        mask = np.zeros(n, dtype=bool)
+        for group in query.disjuncts:
+            group_mask = np.ones(n, dtype=bool)
+            for pred in group:
+                group_mask &= pred.mask(columns[pred.column])
+            mask |= group_mask
+    else:
+        mask = np.ones(n, dtype=bool)
+        for pred in query.predicates:
+            mask &= pred.mask(columns[pred.column])
+    return {col: values[mask] for col, values in columns.items()}
+
+
+def delta_aggregate(
+    internal_specs: list[AggSpec],
+    group_columns: list[str],
+    survivors: dict[str, np.ndarray],
+) -> TupleSet:
+    """Aggregate pending survivors into the same shape as a stored result."""
+    from .operators.aggregate import _grouped_reduce
+
+    group_arrays = [survivors[c].astype(np.int64) for c in group_columns]
+    value_columns = {
+        spec.column: survivors[spec.column].astype(np.int64)
+        for spec in internal_specs
+        if spec.func != "count"
+    }
+    reduced = _grouped_reduce(
+        group_arrays, group_columns, value_columns, internal_specs
+    )
+    return TupleSet.stitch(reduced)
+
+
+def merge_aggregates(
+    stored: TupleSet,
+    pending: TupleSet,
+    group_columns: list[str],
+    internal_specs: list[AggSpec],
+    plan: dict,
+    select: list[str],
+) -> TupleSet:
+    """Combine stored-side and delta-side partial aggregates by group."""
+    both = TupleSet.concat([stored, pending])
+    keys, inverse = factorize_groups(
+        [both.column(c) for c in group_columns]
+    )
+    k = len(keys[0]) if keys else 0
+    merged: dict[str, np.ndarray] = dict(zip(group_columns, keys))
+    for spec in internal_specs:
+        partial = both.column(spec.output_name)
+        if spec.func in ("sum", "count"):
+            merged[spec.output_name] = np.bincount(
+                inverse, weights=partial, minlength=k
+            ).astype(np.int64)
+        elif spec.func in ("min", "max"):
+            fill = (
+                np.iinfo(np.int64).max
+                if spec.func == "min"
+                else np.iinfo(np.int64).min
+            )
+            acc = np.full(k, fill, dtype=np.int64)
+            ufunc = np.minimum if spec.func == "min" else np.maximum
+            ufunc.at(acc, inverse, partial)
+            merged[spec.output_name] = acc
+        else:  # pragma: no cover - internal specs never contain avg
+            raise ExecutionError(f"unmergeable partial {spec.func}")
+    out: dict[str, np.ndarray] = dict(zip(group_columns, keys))
+    for output, how in plan.items():
+        if how[0] == "avg":
+            sums = merged[how[1]]
+            counts = merged[how[2]]
+            out[output] = sums // np.maximum(counts, 1)
+        else:
+            out[output] = merged[how[1]]
+    result = TupleSet.stitch(out)
+    return result.select(select)
+
+
+def internal_query(query: SelectQuery) -> tuple[SelectQuery, dict]:
+    """The stored-side query to run when pending rows must be merged in.
+
+    Strips ORDER BY / LIMIT (applied after the merge) and rewrites AVG into
+    mergeable partials. Returns the rewritten query plus the reconstruction
+    plan (empty for plain selections).
+    """
+    if not query.aggregates:
+        return replace(query, order_by=(), limit=None), {}
+    internal_specs, plan = expand_avg(query.aggregates)
+    select = tuple(query.group_columns) + tuple(
+        s.output_name for s in internal_specs
+    )
+    rewritten = replace(
+        query,
+        select=select,
+        aggregates=tuple(internal_specs),
+        order_by=(),
+        limit=None,
+        having=(),  # applied after the merge, over final aggregates
+    )
+    return rewritten, plan

@@ -1,0 +1,476 @@
+"""High-level database facade.
+
+:class:`Database` ties the pieces together: a catalog of projections, a
+buffer pool over the cost-accounted disk model, strategy selection (explicit
+or model-driven), execution, and result decoding. This is the public entry
+point both the examples and the benchmark harness use.
+
+Example::
+
+    db = Database("/tmp/demo")
+    load_tpch(db.catalog, scale=0.01)
+    result = db.query(
+        SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "linenum"),
+            predicates=(
+                Predicate("shipdate", "<", 9000),
+                Predicate("linenum", "<", 7),
+            ),
+        ),
+        strategy="lm-parallel",
+    )
+    print(result.rows()[:5], result.wall_ms, result.simulated_ms)
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .buffer import BufferPool, DiskModel
+from .delta import (
+    DeltaStore,
+    delta_aggregate,
+    delta_select,
+    internal_query,
+    merge_aggregates,
+)
+from .errors import CatalogError, ExecutionError, PlanError
+from .metrics import QueryStats
+from .model.constants import PAPER_CONSTANTS, ModelConstants
+from .model.cost import simulated_time_ms
+from .operators import ExecutionContext, TupleSet
+from .planner import (
+    JoinQuery,
+    RightTableStrategy,
+    SelectQuery,
+    Strategy,
+    choose_strategy,
+    execute_join,
+    execute_select,
+    resolve_projection,
+)
+from .planner.projection_choice import resolve_join_side
+from .storage.catalog import Catalog
+from .storage.projection import Projection
+
+
+@dataclass
+class QueryResult:
+    """A finished query: tuples, the strategy used, and its costs."""
+
+    tuples: TupleSet
+    strategy: str
+    stats: QueryStats
+    wall_ms: float
+    simulated_ms: float
+    decoders: dict = field(default_factory=dict)
+    #: Operator events in execution order when the query ran with
+    #: ``trace=True``; None otherwise.
+    trace: list | None = None
+
+    @property
+    def n_rows(self) -> int:
+        return self.tuples.n_tuples
+
+    def rows(self) -> list[tuple]:
+        """Raw stored values as Python tuples."""
+        return self.tuples.rows()
+
+    def report(self) -> str:
+        """Human-readable execution report: strategy, costs, counters, trace."""
+        stats = self.stats
+        lines = [
+            f"strategy       {self.strategy}",
+            f"rows           {self.n_rows}",
+            f"wall time      {self.wall_ms:.2f} ms",
+            f"model replay   {self.simulated_ms:.2f} ms",
+            (
+                f"I/O            {stats.block_reads} block reads, "
+                f"{stats.disk_seeks} seeks, {stats.buffer_hits} pool hits, "
+                f"{stats.blocks_skipped} blocks skipped"
+            ),
+            (
+                f"CPU            {stats.values_scanned} values scanned, "
+                f"{stats.tuples_constructed} tuples constructed, "
+                f"{stats.positions_intersected} positions intersected"
+            ),
+        ]
+        for key, value in sorted(stats.extra.items()):
+            lines.append(f"{key:<14} {value}")
+        if self.trace:
+            lines.append("operators:")
+            for op, detail in self.trace:
+                pretty = ", ".join(f"{k}={v}" for k, v in detail.items())
+                lines.append(f"  {op:<11} {pretty}")
+        return "\n".join(lines)
+
+    def decoded_rows(self) -> list[tuple]:
+        """Rows with dictionary codes and dates mapped back to logical values."""
+        columns = self.tuples.columns
+        out = []
+        for row in self.tuples.rows():
+            out.append(
+                tuple(
+                    self.decoders[col](value) if col in self.decoders else value
+                    for col, value in zip(columns, row)
+                )
+            )
+        return out
+
+
+class Database:
+    """A column-store database rooted at one directory."""
+
+    def __init__(
+        self,
+        root: str | Path,
+        pool_capacity_bytes: int = 256 * 1024 * 1024,
+        disk: DiskModel | None = None,
+        constants: ModelConstants = PAPER_CONSTANTS,
+        use_multicolumns: bool = True,
+        use_indexes: bool = True,
+        decompress_eagerly: bool = False,
+    ):
+        self.catalog = Catalog(root)
+        self.disk = disk if disk is not None else DiskModel()
+        self.pool = BufferPool(pool_capacity_bytes, self.disk)
+        self.constants = constants
+        self.use_multicolumns = use_multicolumns
+        self.use_indexes = use_indexes
+        self.decompress_eagerly = decompress_eagerly
+        # Pending inserts are WAL-backed under the database root so they
+        # survive process restarts until the tuple mover folds them in.
+        self.delta = DeltaStore(wal_directory=self.catalog.root / "_wal")
+
+    def projection(self, name: str) -> Projection:
+        return self.catalog.get(name)
+
+    def drop_projection(self, name: str) -> None:
+        """Remove a projection and its files from the catalog."""
+        self.catalog.drop_projection(name)
+        self.clear_cache()
+
+    def clear_cache(self) -> None:
+        """Drop the buffer pool (queries start from a cold cache)."""
+        self.pool.clear()
+
+    def _context(self, trace: bool = False) -> ExecutionContext:
+        return ExecutionContext(
+            pool=self.pool,
+            stats=QueryStats(),
+            use_multicolumns=self.use_multicolumns,
+            use_indexes=self.use_indexes,
+            decompress_eagerly=self.decompress_eagerly,
+            trace=[] if trace else None,
+        )
+
+    def _resolve_strategy(
+        self, projection: Projection, query: SelectQuery, strategy
+    ) -> Strategy:
+        if query.disjuncts:
+            # Disjunctions always run the position-union (LM) path.
+            return Strategy.LM_PARALLEL
+        if strategy is None or strategy == "auto":
+            chosen, _predictions = choose_strategy(
+                projection,
+                query,
+                constants=self.constants,
+                resident=self.pool.resident_fraction(
+                    projection.column(query.all_columns[0]).file(
+                        query.encoding_map.get(query.all_columns[0])
+                    )
+                ),
+            )
+            return chosen
+        if isinstance(strategy, Strategy):
+            return strategy
+        return Strategy.from_name(str(strategy))
+
+    def query(
+        self,
+        query: SelectQuery | JoinQuery,
+        strategy: Strategy | str | None = "auto",
+        cold: bool = False,
+        trace: bool = False,
+    ) -> QueryResult:
+        """Execute a logical query.
+
+        Args:
+            query: a :class:`SelectQuery` or :class:`JoinQuery`.
+            strategy: a :class:`Strategy` / its name, "auto" for model-driven
+                choice, or for joins a :class:`RightTableStrategy` / name.
+            cold: clear the buffer pool first (cold-cache measurement).
+            trace: record per-operator events on ``QueryResult.trace``.
+        """
+        if cold:
+            self.clear_cache()
+        if isinstance(query, JoinQuery):
+            return self._run_join(query, strategy, trace=trace)
+        if not isinstance(query, SelectQuery):
+            raise PlanError(f"cannot execute {type(query).__name__}")
+        return self._run_select(query, strategy, trace=trace)
+
+    def _pending_table(self, *names) -> str | None:
+        """First of *names* with buffered inserts, if any."""
+        for name in names:
+            if name and self.delta.count(name):
+                return name
+        return None
+
+    def _run_select(
+        self, query: SelectQuery, strategy, trace: bool = False
+    ) -> QueryResult:
+        projection = resolve_projection(
+            self.catalog, query, constants=self.constants
+        )
+        resolved = self._resolve_strategy(projection, query, strategy)
+        ctx = self._context(trace=trace)
+        start = time.perf_counter()
+        pending = self._pending_table(query.projection, projection.anchor)
+        if pending is None:
+            tuples = execute_select(ctx, projection, query, resolved)
+        else:
+            tuples = self._select_with_delta(
+                ctx, projection, query, resolved, pending
+            )
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        return QueryResult(
+            tuples=tuples,
+            strategy=resolved.value,
+            stats=ctx.stats,
+            wall_ms=wall_ms,
+            simulated_ms=simulated_time_ms(ctx.stats, self.constants),
+            decoders=self._decoders(projection, tuples.columns),
+            trace=ctx.trace,
+        )
+
+    def _select_with_delta(
+        self, ctx, projection, query: SelectQuery, resolved, table: str
+    ):
+        """Merge-on-read: fold the writable store into the stored result."""
+        from .operators import TupleSet
+        from .planner.plans import _apply_having, _order_and_limit
+
+        if any(s.func == "count_distinct" for s in query.aggregates):
+            raise ExecutionError(
+                "count(distinct) cannot merge with pending inserts; call "
+                "Database.merge() first"
+            )
+        rewritten, plan = internal_query(query)
+        stored = execute_select(ctx, projection, rewritten, resolved)
+        needed = rewritten.all_columns
+        schemas = {col: projection.schema(col) for col in needed}
+        survivors = delta_select(
+            rewritten, self.delta.columns(table, schemas)
+        )
+        n_pending = len(next(iter(survivors.values()))) if survivors else 0
+        ctx.stats.tuple_iterations += n_pending
+        if query.aggregates:
+            pending_partials = delta_aggregate(
+                list(rewritten.aggregates),
+                list(rewritten.group_columns),
+                survivors,
+            )
+            merged = merge_aggregates(
+                stored,
+                pending_partials,
+                list(rewritten.group_columns),
+                list(rewritten.aggregates),
+                plan,
+                list(query.select),
+            )
+        else:
+            pending_tuples = TupleSet.stitch(
+                {col: survivors[col] for col in query.select},
+                stats=ctx.stats,
+            )
+            merged = TupleSet.concat([stored, pending_tuples])
+        merged = _apply_having(ctx, merged, query)
+        ctx.stats.tuples_output = merged.n_tuples
+        return _order_and_limit(ctx, merged, query)
+
+    def insert(self, table: str, rows: list[dict]) -> int:
+        """Buffer rows into the writable store for *table* (an anchor name).
+
+        Rows become visible to selection and aggregation queries immediately
+        (merge-on-read); call :meth:`merge` to fold them into the read store.
+        """
+        candidates = self.catalog.candidates(table)
+        if not candidates:
+            raise CatalogError(f"unknown projection or table {table!r}")
+        schemas: dict = {}
+        for proj in candidates:
+            for col in proj.column_names:
+                schemas.setdefault(col, proj.schema(col))
+        return self.delta.insert(table, rows, schemas)
+
+    def pending(self, table: str) -> int:
+        """Number of buffered (not yet merged) rows for *table*."""
+        return self.delta.count(table)
+
+    def merge(self, table: str) -> int:
+        """The tuple mover: fold buffered rows into every projection of *table*.
+
+        Rebuilds each projection (sort, encode, checksum, index, histogram)
+        from stored + pending rows, then clears the writable store. Returns
+        the number of rows moved.
+        """
+        moved = self.delta.count(table)
+        if moved == 0:
+            return 0
+        for proj in list(self.catalog.candidates(table)):
+            schemas = {c: proj.schema(c) for c in proj.column_names}
+            pending_cols = self.delta.columns(table, schemas)
+            data = {}
+            for col in proj.column_names:
+                stored = proj.column(col).file().read_all_values()
+                data[col] = __import__("numpy").concatenate(
+                    (stored, pending_cols[col])
+                )
+            encodings = {
+                col: proj.column(col).encodings for col in proj.column_names
+            }
+            self.catalog.replace_projection(
+                proj.name,
+                data,
+                schemas,
+                sort_keys=list(proj.sort_keys),
+                encodings=encodings,
+                anchor=proj.anchor,
+            )
+        self.delta.clear(table)
+        self.clear_cache()  # stale payloads for the replaced files
+        return moved
+
+    def _run_join(
+        self, query: JoinQuery, strategy, trace: bool = False
+    ) -> QueryResult:
+        for side in (query.left, query.right):
+            candidates = self.catalog.candidates(side)
+            anchor = candidates[0].anchor if candidates else None
+            pending = self._pending_table(side, anchor)
+            if pending is not None:
+                raise ExecutionError(
+                    f"table {pending!r} has {self.delta.count(pending)} "
+                    "pending inserts; call Database.merge() before joining"
+                )
+        left_needed = [query.left_key, *query.left_select] + [
+            p.column for p in query.left_predicates
+        ]
+        left = resolve_join_side(self.catalog, query.left, left_needed)
+        right = resolve_join_side(
+            self.catalog, query.right, [query.right_key, *query.right_select]
+        )
+        if strategy is None or strategy == "auto":
+            resolved = RightTableStrategy.MATERIALIZED
+        elif isinstance(strategy, RightTableStrategy):
+            resolved = strategy
+        else:
+            resolved = RightTableStrategy.from_name(str(strategy))
+        ctx = self._context(trace=trace)
+        start = time.perf_counter()
+        tuples = execute_join(ctx, left, right, query, resolved)
+        wall_ms = (time.perf_counter() - start) * 1000.0
+        decoders = self._decoders(left, tuples.columns)
+        decoders.update(self._decoders(right, tuples.columns))
+        return QueryResult(
+            tuples=tuples,
+            strategy=resolved.value,
+            stats=ctx.stats,
+            wall_ms=wall_ms,
+            simulated_ms=simulated_time_ms(ctx.stats, self.constants),
+            decoders=decoders,
+            trace=ctx.trace,
+        )
+
+    def sql(
+        self,
+        statement: str,
+        strategy: Strategy | str | None = "auto",
+        encodings: dict[str, str] | None = None,
+        cold: bool = False,
+    ) -> QueryResult:
+        """Parse, bind, and execute a SQL statement.
+
+        Args:
+            statement: the SQL text (see :mod:`repro.sql` for the subset).
+            strategy: materialization strategy, as for :meth:`query`.
+            encodings: optional column -> stored-encoding override.
+            cold: clear the buffer pool first.
+        """
+        from .sql import bind, parse
+
+        query = bind(parse(statement), self.catalog, encodings=encodings)
+        return self.query(query, strategy=strategy, cold=cold)
+
+    def describe(self, query: SelectQuery, strategy: Strategy | str = "auto") -> str:
+        """Render the physical plan for *query* without executing it."""
+        from .planner import describe_plan
+
+        projection = resolve_projection(
+            self.catalog, query, constants=self.constants
+        )
+        resolved = self._resolve_strategy(projection, query, strategy)
+        return describe_plan(projection, query, resolved)
+
+    def explain(
+        self, query: SelectQuery | JoinQuery, resident: float = 0.0
+    ) -> dict:
+        """Per-strategy model predictions for *query* (the optimizer's view).
+
+        Selection queries compare the four materialization strategies; join
+        queries compare the three inner-table strategies (via the join model
+        extension).
+        """
+        if isinstance(query, JoinQuery):
+            from .model.predictor import predict_join
+
+            left_needed = [query.left_key, *query.left_select] + [
+                p.column for p in query.left_predicates
+            ]
+            left = resolve_join_side(self.catalog, query.left, left_needed)
+            right = resolve_join_side(
+                self.catalog,
+                query.right,
+                [query.right_key, *query.right_select],
+            )
+            predictions = {
+                s: predict_join(
+                    left, right, query, s,
+                    constants=self.constants, resident=resident,
+                )
+                for s in RightTableStrategy
+            }
+            best = min(predictions, key=lambda s: predictions[s].total_ms)
+            return {
+                "chosen": best.value,
+                "predictions": {
+                    s.value: p.total_ms for s, p in predictions.items()
+                },
+                "details": predictions,
+            }
+        projection = resolve_projection(
+            self.catalog, query, constants=self.constants
+        )
+        best, predictions = choose_strategy(
+            projection, query, constants=self.constants, resident=resident
+        )
+        return {
+            "chosen": best.value,
+            "predictions": {
+                s.value: p.total_ms for s, p in predictions.items()
+            },
+            "details": predictions,
+        }
+
+    def _decoders(self, projection: Projection, columns) -> dict:
+        out = {}
+        for col in columns:
+            if col in projection.columns:
+                schema = projection.schema(col)
+                if schema.dictionary or schema.ctype.name == "date":
+                    out[col] = schema.decode_value
+        return out

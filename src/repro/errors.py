@@ -1,0 +1,49 @@
+"""Exception hierarchy for the repro column store.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class. Subclasses separate storage-format problems from query
+construction problems from executor-state problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class StorageError(ReproError):
+    """A column file, block, or catalog is malformed or unreadable."""
+
+
+class CorruptBlockError(StorageError):
+    """A block failed checksum or structural validation on read."""
+
+
+class EncodingError(StorageError):
+    """Values cannot be encoded/decoded with the requested encoding."""
+
+
+class CatalogError(StorageError):
+    """A projection or column is missing from, or duplicated in, the catalog."""
+
+
+class PlanError(ReproError):
+    """A logical query cannot be turned into a physical plan."""
+
+
+class UnsupportedOperationError(PlanError):
+    """The requested operator/encoding combination is not supported.
+
+    The canonical example from the paper: positional filtering (DS3) on a
+    bit-vector encoded column is impossible because one cannot know a priori
+    which bit-string holds a given position's value.
+    """
+
+
+class ExecutionError(ReproError):
+    """An operator tree entered an inconsistent state during execution."""
+
+
+class SQLError(ReproError):
+    """The SQL front-end could not tokenize, parse, or bind a statement."""

@@ -1,0 +1,79 @@
+"""Query execution statistics.
+
+Every operator increments counters on a shared :class:`QueryStats` instance.
+The counters correspond one-to-one to the terms of the paper's analytical
+model (Table 1), which lets the model be replayed over *observed* behaviour:
+``repro.model.cost.simulated_time_ms(stats, constants)`` converts a finished
+query's counters into the model's predicted milliseconds. Benchmarks report
+both wall-clock and this simulated time, because on a laptop-scale Python
+substrate the simulated time is what preserves the paper's I/O trade-offs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class QueryStats:
+    """Counters accumulated during one query execution.
+
+    Attributes mirror Table 1 of the paper:
+
+    * ``block_reads`` / ``disk_seeks`` — physical I/O issued past the buffer
+      pool (the model's ``|C| * READ`` and ``|C|/PF * SEEK`` terms).
+    * ``buffer_hits`` — reads absorbed by the buffer pool (the model's ``F``).
+    * ``block_iterations`` — getNext() calls on block iterators (``BIC``).
+    * ``column_iterations`` — per-value (or per-run) column iterator steps
+      (``TICCOL``).
+    * ``tuple_iterations`` — per-tuple iterator steps (``TICTUP``).
+    * ``function_calls`` — glue function calls (``FC``).
+    * ``tuples_constructed`` — row-style tuples stitched together.
+    * ``values_scanned`` — raw values a predicate was applied to.
+    * ``positions_intersected`` — position-list elements consumed by AND.
+    * ``tuples_output`` — tuples handed to the query consumer.
+    * ``blocks_skipped`` — blocks pruned via min/max or position coverage.
+    """
+
+    block_reads: int = 0
+    disk_seeks: int = 0
+    buffer_hits: int = 0
+    block_iterations: int = 0
+    column_iterations: int = 0
+    tuple_iterations: int = 0
+    function_calls: int = 0
+    tuples_constructed: int = 0
+    values_scanned: int = 0
+    positions_intersected: int = 0
+    tuples_output: int = 0
+    blocks_skipped: int = 0
+    simulated_io_us: float = 0.0
+
+    extra: dict = field(default_factory=dict)
+
+    def merge(self, other: "QueryStats") -> None:
+        """Fold another stats object into this one (for sub-plans)."""
+        for f in fields(self):
+            if f.name == "extra":
+                continue
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        for key, value in other.extra.items():
+            self.extra[key] = self.extra.get(key, 0) + value
+
+    def reset(self) -> None:
+        for f in fields(self):
+            if f.name == "extra":
+                self.extra = {}
+            else:
+                setattr(self, f.name, type(getattr(self, f.name))())
+
+    def as_dict(self) -> dict:
+        out = {
+            f.name: getattr(self, f.name) for f in fields(self) if f.name != "extra"
+        }
+        out.update(self.extra)
+        return out
+
+    def __str__(self) -> str:
+        pairs = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
+        return f"QueryStats({pairs})"

@@ -1,0 +1,48 @@
+"""The paper's analytical cost model (Section 3).
+
+Three layers:
+
+* :mod:`~repro.model.constants` — Table 2's calibrated CPU/disk constants.
+* :mod:`~repro.model.cost` — per-operator cost formulas (Figures 1-6) plus
+  the replay function that converts a finished query's observed counters into
+  model milliseconds ("simulated time").
+* :mod:`~repro.model.predictor` — a-priori end-to-end plan cost prediction
+  from column metadata and estimated selectivities, used both for the
+  Figure 10 validation and by the strategy-choosing optimizer.
+"""
+
+from .constants import ModelConstants, PAPER_CONSTANTS
+from .cost import (
+    AndCost,
+    ColumnMeta,
+    OperatorCost,
+    and_cost,
+    ds_case1_cost,
+    ds_case2_cost,
+    ds_case3_cost,
+    ds_case4_cost,
+    merge_cost,
+    simulated_time_ms,
+    spc_cost,
+)
+from .predictor import predict_join, predict_select
+from .calibrate import calibrate_constants
+
+__all__ = [
+    "ModelConstants",
+    "PAPER_CONSTANTS",
+    "ColumnMeta",
+    "OperatorCost",
+    "AndCost",
+    "ds_case1_cost",
+    "ds_case2_cost",
+    "ds_case3_cost",
+    "ds_case4_cost",
+    "and_cost",
+    "merge_cost",
+    "spc_cost",
+    "simulated_time_ms",
+    "predict_select",
+    "predict_join",
+    "calibrate_constants",
+]

@@ -1,0 +1,106 @@
+"""Constant calibration (reproduces Table 2 for the current machine).
+
+The paper obtained Table 2 "by running the small segments of code that only
+performed the variable in question". We do the same against this substrate's
+actual unit operations: numpy per-value column work for TICCOL, row-major
+tuple stitching for TICTUP, Python function call overhead for FC, and a
+buffer-pool hit for BIC. SEEK/READ stay at the paper's values — they belong
+to the simulated disk, not the host machine.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from .constants import PAPER_CONSTANTS, ModelConstants
+
+
+def _time_us(fn, repeats: int = 5) -> float:
+    """Best-of-N wall time of ``fn()`` in microseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best * 1e6
+
+
+def measure_fc(calls: int = 200_000) -> float:
+    """Per-call overhead of a trivial function, in microseconds."""
+
+    def noop():
+        return None
+
+    def loop():
+        for _ in range(calls):
+            noop()
+
+    return _time_us(loop) / calls
+
+
+def measure_ticcol(n: int = 4_000_000) -> float:
+    """Per-value cost of vector-style column iteration (predicate + emit)."""
+    values = np.arange(n, dtype=np.int64)
+
+    def work():
+        mask = values < (n // 2)
+        _ = values[mask]
+
+    return _time_us(work) / n
+
+
+def measure_tictup(n: int = 1_000_000) -> float:
+    """Per-tuple cost of constructing/iterating row-major 2-ary tuples."""
+    a = np.arange(n, dtype=np.int64)
+    b = np.arange(n, dtype=np.int64)
+
+    def work():
+        data = np.empty((n, 2), dtype=np.int64)
+        data[:, 0] = a
+        data[:, 1] = b
+        _ = data[data[:, 0] < (n // 2)]
+
+    return _time_us(work) / n
+
+
+def measure_bic(lookups: int = 100_000) -> float:
+    """Per-call overhead of a buffer-pool hit (block iterator getNext)."""
+    from ..buffer import BufferPool
+    from ..metrics import QueryStats
+
+    pool = BufferPool()
+    pool._cache[("calib", 0)] = b"x"  # direct fixture: a guaranteed hit
+
+    class _FakeFile:
+        path = "calib"
+        n_blocks = 1
+
+        @staticmethod
+        def read_payload(index):  # pragma: no cover - never reached on hits
+            return b"x"
+
+    stats = QueryStats()
+    fake = _FakeFile()
+
+    def loop():
+        for _ in range(lookups):
+            pool.get(fake, 0, stats)
+
+    return _time_us(loop) / lookups
+
+
+def calibrate_constants(quick: bool = False) -> ModelConstants:
+    """Measure this machine's CPU constants; keep the paper's disk constants.
+
+    Args:
+        quick: shrink the measurement sizes (for tests).
+    """
+    scale = 10 if quick else 1
+    return PAPER_CONSTANTS.with_overrides(
+        fc=measure_fc(calls=200_000 // scale),
+        ticcol=measure_ticcol(n=4_000_000 // scale),
+        tictup=measure_tictup(n=1_000_000 // scale),
+        bic=measure_bic(lookups=100_000 // scale),
+    )

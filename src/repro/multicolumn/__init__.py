@@ -1,0 +1,14 @@
+"""Multi-column intermediate results (paper Section 3.6).
+
+A multi-column is the specialised data structure that makes late
+materialization's column re-access free: it pins the encoded block payloads a
+data source already read (mini-columns, still in their on-disk compression
+format) next to a position descriptor saying which positions remain valid.
+Downstream DS3 operators then extract values from the pinned payloads instead
+of re-reading the column.
+"""
+
+from .minicolumn import MiniColumn
+from .multicolumn import MultiColumn
+
+__all__ = ["MiniColumn", "MultiColumn"]

@@ -1,0 +1,63 @@
+"""Mini-columns: pinned, still-encoded column block payloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..storage.block import BlockDescriptor
+from ..storage.column_file import ColumnFile
+
+
+@dataclass
+class MiniColumn:
+    """The values of one attribute over a covering position range.
+
+    Holds references to the encoded payloads of the blocks a scan touched
+    (conceptually: pointers into the buffer pool). Values stay compressed in
+    their native format; extraction decodes lazily, per block, only for the
+    positions requested.
+    """
+
+    column_file: ColumnFile
+    payloads: dict[int, bytes] = field(default_factory=dict)
+
+    @property
+    def column(self) -> str:
+        return self.column_file.column
+
+    def pin(self, descriptor: BlockDescriptor, payload: bytes) -> None:
+        """Retain a block payload for later positional extraction."""
+        self.payloads[descriptor.index] = payload
+
+    def has_block(self, index: int) -> bool:
+        return index in self.payloads
+
+    def payload(self, index: int) -> bytes:
+        return self.payloads[index]
+
+    def block_count(self) -> int:
+        return len(self.payloads)
+
+    def gather(self, positions: np.ndarray) -> np.ndarray:
+        """Extract values at sorted absolute *positions* from pinned payloads.
+
+        The caller guarantees every position falls inside a pinned block (a
+        multi-column only covers ranges its scan produced).
+        """
+        cf = self.column_file
+        out = np.empty(len(positions), dtype=cf.dtype)
+        cursor = 0
+        for desc in cf.descriptors:
+            if cursor >= len(positions):
+                break
+            hi = np.searchsorted(positions, desc.end_pos, side="left")
+            if hi <= cursor:
+                continue
+            chunk = positions[cursor:hi]
+            out[cursor:hi] = cf.encoding.gather(
+                self.payloads[desc.index], desc, cf.dtype, chunk
+            )
+            cursor = hi
+        return out

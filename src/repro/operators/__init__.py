@@ -1,0 +1,55 @@
+"""Block-oriented query operators (C-Store executor, paper Section 3).
+
+The operator set matches the paper's:
+
+* :class:`DS1Scan` … :class:`DS4Scan` — the four data-source cases (scan to
+  positions, scan to position/value tuples, positional gather, positional
+  tuple extension).
+* :class:`SPCScan` — Scan/Predicate/Construct, the EM-parallel leaf.
+* :class:`AndOp` — position-list intersection.
+* :class:`MergeOp` — n-ary stitch of value streams into output tuples.
+* :class:`AggregateEM` / :class:`AggregateLM` — aggregation over constructed
+  tuples vs. directly over (compressed) columns.
+* join operators in :mod:`.joins` — the three inner-table materialization
+  strategies of Section 4.3.
+
+Operators execute column-at-a-time over physical 64 KB blocks fetched through
+the buffer pool, incrementing the :class:`~repro.metrics.QueryStats` counters
+that correspond to the analytical model's cost terms.
+"""
+
+from .base import ExecutionContext, gather_values
+from .tuples import TupleSet
+from .datasource import DS1Scan, DS2Scan, DS3Gather, DS4Scan, SPCScan
+from .and_op import AndOp
+from .merge import MergeOp
+from .aggregate import AggregateEM, AggregateLM
+from .joins import (
+    JoinPositions,
+    hash_join_tuples,
+    join_single_column,
+    join_multicolumn,
+    join_materialized,
+)
+from .output import drain
+
+__all__ = [
+    "ExecutionContext",
+    "gather_values",
+    "TupleSet",
+    "DS1Scan",
+    "DS2Scan",
+    "DS3Gather",
+    "DS4Scan",
+    "SPCScan",
+    "AndOp",
+    "MergeOp",
+    "AggregateEM",
+    "AggregateLM",
+    "JoinPositions",
+    "hash_join_tuples",
+    "join_single_column",
+    "join_multicolumn",
+    "join_materialized",
+    "drain",
+]

@@ -1,0 +1,137 @@
+"""Execution context and shared positional-gather helper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..buffer import BufferPool
+from ..metrics import QueryStats
+from ..multicolumn import MiniColumn
+from ..storage.column_file import ColumnFile
+
+
+@dataclass
+class ExecutionContext:
+    """Everything operators share during one query execution.
+
+    Attributes:
+        pool: buffer pool all block reads go through.
+        stats: counters mirrored from the analytical model's cost terms.
+        use_multicolumns: when True (the paper's optimised LM), scans pin the
+            blocks they read into mini-columns so downstream positional access
+            never re-touches the buffer pool.
+    """
+
+    pool: BufferPool
+    stats: QueryStats = field(default_factory=QueryStats)
+    use_multicolumns: bool = True
+    use_indexes: bool = True
+    #: MonetDB/X100-style execution (paper Section 5's contrast): scans
+    #: decompress data into the cache immediately, so downstream operators
+    #: never work on compressed representations. Costs are charged per value
+    #: instead of per run. Used by the selection-vectors ablation.
+    decompress_eagerly: bool = False
+    #: When not None, operators append (operator, detail) event tuples here
+    #: in execution order — the observability hook behind
+    #: ``Database.query(..., trace=True)``.
+    trace: list | None = None
+
+    def emit(self, operator: str, **detail) -> None:
+        """Record a trace event if tracing is enabled."""
+        if self.trace is not None:
+            self.trace.append((operator, detail))
+
+    def read_block(self, column_file: ColumnFile, index: int) -> bytes:
+        """Fetch one block payload through the buffer pool, counting a BIC step."""
+        self.stats.block_iterations += 1
+        return self.pool.get(column_file, index, self.stats)
+
+
+def position_groups(positions) -> int:
+    """The model's ``||POSLIST|| / RLp``: iterator steps over a position list.
+
+    A contiguous range is one group; listed/bitmap representations are charged
+    one step per contained position (runs inside them are not free to detect).
+    """
+    from ..positions import RangePositions
+
+    if isinstance(positions, RangePositions):
+        return 1 if positions.count() else 0
+    return positions.count()
+
+
+def gather_values(
+    ctx: ExecutionContext,
+    column_file: ColumnFile,
+    positions: np.ndarray,
+    minicolumn: MiniColumn | None = None,
+    on_the_fly: bool = False,
+) -> np.ndarray:
+    """DS3 inner loop: values of *column_file* at absolute *positions*.
+
+    Handles unsorted position arrays (the join re-extraction case): they are
+    sorted for block-cursor access and the result scattered back, and the
+    sort is charged at ``n log n`` function calls — the paper's penalty for
+    "out of order positions" after a join ("a merge-join on position cannot
+    be used"). With ``on_the_fly=True`` the positions are extracted the
+    moment they are produced (the multi-column join's per-match extraction),
+    so no positional join happens and no sort penalty is charged — one direct
+    jump per position instead.
+
+    When *minicolumn* pins the needed blocks, no buffer-pool access happens at
+    all (the multi-column optimization); otherwise blocks covering positions
+    are fetched through the pool (hits when the query is properly pipelined)
+    and blocks covering no position are skipped.
+    """
+    stats = ctx.stats
+    n = len(positions)
+    if n == 0:
+        return np.empty(0, dtype=column_file.dtype)
+
+    order = None
+    sorted_positions = positions
+    if n > 1 and not _is_sorted(positions):
+        order = np.argsort(positions, kind="stable")
+        sorted_positions = positions[order]
+        if on_the_fly:
+            stats.function_calls += n  # one direct jump per match
+        else:
+            # A full positional re-join: sort, jump per position, scatter.
+            stats.function_calls += int(n * max(np.log2(n), 1.0))
+            stats.column_iterations += 2 * n
+            stats.extra["out_of_order_gathers"] = (
+                stats.extra.get("out_of_order_gathers", 0) + n
+            )
+
+    out = np.empty(n, dtype=column_file.dtype)
+    cursor = 0
+    encoding = column_file.encoding
+    for desc in column_file.descriptors:
+        if cursor >= n:
+            break
+        hi = int(np.searchsorted(sorted_positions, desc.end_pos, side="left"))
+        if hi <= cursor:
+            if desc.start_pos > sorted_positions[-1]:
+                break
+            stats.blocks_skipped += 1
+            continue
+        chunk = sorted_positions[cursor:hi]
+        if minicolumn is not None and minicolumn.has_block(desc.index):
+            payload = minicolumn.payload(desc.index)
+            stats.block_iterations += 1
+        else:
+            payload = ctx.read_block(column_file, desc.index)
+        out[cursor:hi] = encoding.gather(payload, desc, column_file.dtype, chunk)
+        cursor = hi
+
+    if order is not None:
+        unsorted = np.empty(n, dtype=column_file.dtype)
+        unsorted[order] = out
+        out = unsorted
+    return out
+
+
+def _is_sorted(arr: np.ndarray) -> bool:
+    return bool(np.all(arr[1:] >= arr[:-1]))

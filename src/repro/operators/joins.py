@@ -1,0 +1,211 @@
+"""Join operators and the three inner-table materialization strategies.
+
+The paper (Section 4.3) evaluates a foreign-key/primary-key join with three
+representations of the right (inner) table input:
+
+* **materialized** — the right side arrives as constructed tuples; the join
+  outputs right-tuple values directly plus an *ordered* list of left
+  positions (the hybrid approach of the paper).
+* **multi-column** — the right side arrives as an unmaterialized multi-column;
+  values of non-key columns are extracted on the fly for matching rows only.
+* **single column** — "pure" late materialization: only the right join-key
+  column enters the join; the output is a pair of position lists, and the
+  right positions come out *unordered*, making later value extraction on the
+  right side an expensive out-of-order positional join.
+
+All three share a probe kernel over the unique right key (PK) column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ExecutionError
+from ..multicolumn import MultiColumn
+from ..storage.column_file import ColumnFile
+from .base import ExecutionContext, gather_values
+from .tuples import TupleSet
+
+
+@dataclass
+class JoinPositions:
+    """Positional join output: pairs (left_positions[i], right_positions[i]).
+
+    ``left_positions`` is sorted (the outer side is iterated in order);
+    ``right_positions`` is in probe order, i.e. generally *unsorted*.
+    """
+
+    left_positions: np.ndarray
+    right_positions: np.ndarray
+
+    @property
+    def n_matches(self) -> int:
+        return len(self.left_positions)
+
+
+def _probe(
+    ctx: ExecutionContext,
+    left_keys: np.ndarray,
+    right_keys: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Probe unique *right_keys* with *left_keys*.
+
+    Returns ``(left_mask, right_index)``: a mask over left rows that found a
+    match, and for each matching left row the right row index holding its key.
+    """
+    stats = ctx.stats
+    stats.column_iterations += len(right_keys)  # build pass over the inner keys
+    stats.function_calls += len(right_keys)
+    stats.column_iterations += len(left_keys)  # probe pass
+    stats.function_calls += len(left_keys)
+    order = np.argsort(right_keys, kind="stable")
+    sorted_keys = right_keys[order]
+    slot = np.searchsorted(sorted_keys, left_keys)
+    slot_clamped = np.minimum(slot, len(sorted_keys) - 1) if len(sorted_keys) else slot
+    if len(sorted_keys) == 0:
+        return np.zeros(len(left_keys), dtype=bool), np.empty(0, dtype=np.int64)
+    left_mask = sorted_keys[slot_clamped] == left_keys
+    right_index = order[slot_clamped[left_mask]]
+    return left_mask, right_index
+
+
+def join_single_column(
+    ctx: ExecutionContext,
+    left_keys: np.ndarray,
+    left_positions: np.ndarray,
+    right_keys: np.ndarray,
+) -> JoinPositions:
+    """Pure-LM join: only join-key columns in, position pairs out."""
+    left_mask, right_index = _probe(ctx, left_keys, right_keys)
+    ctx.stats.extra["join_matches"] = (
+        ctx.stats.extra.get("join_matches", 0) + int(left_mask.sum())
+    )
+    return JoinPositions(
+        left_positions=left_positions[left_mask],
+        right_positions=right_index.astype(np.int64),
+    )
+
+
+def join_materialized(
+    ctx: ExecutionContext,
+    left_keys: np.ndarray,
+    left_positions: np.ndarray,
+    right_tuples: TupleSet,
+    right_key: str,
+) -> tuple[np.ndarray, TupleSet]:
+    """Hybrid join: right side pre-materialized, left side positional.
+
+    Returns the ordered surviving left positions and, parallel to them, the
+    matching right tuples (a row gather from the materialized inner table).
+    """
+    stats = ctx.stats
+    right_keys = right_tuples.column(right_key)
+    left_mask, right_index = _probe(ctx, left_keys, right_keys)
+    n = int(left_mask.sum())
+    # Emitting a row-store tuple per match.
+    stats.tuple_iterations += n
+    stats.tuples_constructed += n
+    matched = TupleSet(
+        columns=right_tuples.columns, data=right_tuples.data[right_index]
+    )
+    return left_positions[left_mask], matched
+
+
+def join_multicolumn(
+    ctx: ExecutionContext,
+    left_keys: np.ndarray,
+    left_positions: np.ndarray,
+    right_mc: MultiColumn,
+    right_files: dict[str, ColumnFile],
+    right_key: str,
+    extract_columns: list[str],
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """Hybrid join with a multi-column inner table.
+
+    The key column is extracted from the pinned mini-columns for probing; for
+    each match the other relevant columns are extracted on the fly at the
+    matching position — constructing values only for tuples that join.
+    """
+    stats = ctx.stats
+    valid = right_mc.descriptor.to_array()
+    key_file = right_files[right_key]
+    key_values = gather_values(
+        ctx, key_file, valid, minicolumn=right_mc.minicolumns.get(right_key)
+    )
+    stats.column_iterations += len(valid)
+    left_mask, right_index = _probe(ctx, left_keys, key_values)
+    matched_positions = valid[right_index]
+    out: dict[str, np.ndarray] = {right_key: key_values[right_index]}
+    for name in extract_columns:
+        mini = right_mc.minicolumns.get(name)
+        # Extraction happens the moment each match is found — a direct jump
+        # into the pinned mini-column, not a deferred positional join.
+        out[name] = gather_values(
+            ctx,
+            right_files[name],
+            matched_positions,
+            minicolumn=mini,
+            on_the_fly=True,
+        )
+    return left_positions[left_mask], out
+
+
+def fetch_right_columns(
+    ctx: ExecutionContext,
+    join: JoinPositions,
+    right_files: dict[str, ColumnFile],
+    columns: list[str],
+) -> dict[str, np.ndarray]:
+    """Complete a pure-LM join: extract right columns at *unordered* positions.
+
+    This is the expensive step Figure 13 isolates — the positions cannot be
+    merge-joined against the column, so the gather must sort and scatter.
+    """
+    out = {}
+    for name in columns:
+        out[name] = gather_values(ctx, right_files[name], join.right_positions)
+    return out
+
+
+def hash_join_tuples(
+    ctx: ExecutionContext,
+    left: TupleSet,
+    right: TupleSet,
+    left_key: str,
+    right_key: str,
+) -> TupleSet:
+    """Fully early-materialized join: tuples in, tuples out (row-store style)."""
+    stats = ctx.stats
+    left_keys = left.column(left_key)
+    left_mask, right_index = _probe(ctx, left_keys, right.column(right_key))
+    stats.tuple_iterations += left.n_tuples + right.n_tuples
+    left_rows = left.data[left_mask]
+    right_rows = right.data[right_index]
+    right_cols = [c for c in right.columns if c != right_key]
+    right_keep = [right.column_index(c) for c in right_cols]
+    data = np.hstack([left_rows, right_rows[:, right_keep]])
+    out = TupleSet(columns=left.columns + tuple(right_cols), data=data)
+    stats.tuples_constructed += out.n_tuples
+    stats.tuple_iterations += out.n_tuples
+    return out
+
+
+def merge_fetch_left(
+    ctx: ExecutionContext,
+    left_positions: np.ndarray,
+    left_files: dict[str, ColumnFile],
+    columns: list[str],
+) -> dict[str, np.ndarray]:
+    """Fetch left-side columns at the join's ordered left positions.
+
+    Because the left positions stay sorted, this is a standard merge join on
+    position — the cheap side of the asymmetry Section 4.3 describes.
+    """
+    if len(left_positions) > 1 and not np.all(np.diff(left_positions) >= 0):
+        raise ExecutionError("left join positions must be sorted")
+    return {
+        name: gather_values(ctx, left_files[name], left_positions)
+        for name in columns
+    }

@@ -1,0 +1,21 @@
+"""Query output: the final iteration over result tuples.
+
+Both the paper's model and its experiments include the cost of iterating the
+output (``numOutTuples * TICTUP``); :func:`drain` charges it and finalises the
+result.
+"""
+
+from __future__ import annotations
+
+from .base import ExecutionContext
+from .tuples import POSITION_COLUMN, TupleSet
+
+
+def drain(ctx: ExecutionContext, tuples: TupleSet) -> TupleSet:
+    """Consume a result tuple stream, counting per-tuple output iteration."""
+    if POSITION_COLUMN in tuples.columns:
+        tuples = tuples.without(POSITION_COLUMN)
+    n = tuples.n_tuples
+    ctx.stats.tuples_output += n
+    ctx.stats.tuple_iterations += n
+    return tuples

@@ -1,0 +1,30 @@
+"""Query planning: logical queries, materialization strategies, plan builders.
+
+The planner turns a :class:`~repro.planner.logical.SelectQuery` or
+:class:`~repro.planner.logical.JoinQuery` into one of the paper's four
+physical plan shapes (EM/LM x pipelined/parallel) and executes it; the
+model-driven :mod:`~repro.planner.optimizer` picks the strategy the
+analytical cost model predicts to be fastest.
+"""
+
+from .logical import JoinQuery, SelectQuery
+from .strategies import LeftTableStrategy, RightTableStrategy, Strategy
+from .plans import execute_join, execute_select
+from .estimate import estimate_selectivity
+from .optimizer import choose_strategy
+from .projection_choice import resolve_projection
+from .describe import describe_plan
+
+__all__ = [
+    "SelectQuery",
+    "JoinQuery",
+    "Strategy",
+    "LeftTableStrategy",
+    "RightTableStrategy",
+    "execute_select",
+    "execute_join",
+    "estimate_selectivity",
+    "choose_strategy",
+    "resolve_projection",
+    "describe_plan",
+]

@@ -1,0 +1,182 @@
+"""Textual physical-plan rendering (EXPLAIN without executing).
+
+Mirrors the plan shapes :mod:`repro.planner.plans` builds, annotated with the
+physical facts the strategy decision rests on: encodings, block counts, run
+lengths, estimated selectivities, index availability, and the model's
+predicted cost per operator.
+"""
+
+from __future__ import annotations
+
+from ..errors import UnsupportedOperationError
+from ..storage.projection import Projection
+from .estimate import estimate_selectivity
+from .logical import SelectQuery
+from .strategies import Strategy
+
+
+def _column_note(projection: Projection, query: SelectQuery, col: str) -> str:
+    cf = projection.column(col).file(query.encoding_map.get(col))
+    bits = [cf.encoding.name, f"{cf.n_blocks} blocks"]
+    if cf.avg_run_length > 1.05:
+        bits.append(f"runs~{cf.avg_run_length:.0f}")
+    if projection.column(col).index is not None:
+        bits.append("indexed")
+    return ", ".join(bits)
+
+
+def _pred_lines(projection, query, col_preds, indent="    ") -> list[str]:
+    lines = []
+    for col, pred in col_preds.items():
+        cf = projection.column(col).file(query.encoding_map.get(col))
+        sf = estimate_selectivity(cf, pred)
+        lines.append(
+            f"{indent}DS1({pred}) [{_column_note(projection, query, col)}, "
+            f"SF~{sf:.3f}]"
+        )
+    return lines
+
+
+def describe_plan(
+    projection: Projection, query: SelectQuery, strategy: Strategy
+) -> str:
+    """Render the physical operator tree for *query* under *strategy*."""
+    from ..predicates import combine_column_predicates
+
+    by_column: dict[str, list] = {}
+    source = query.disjuncts if query.disjuncts else (query.predicates,)
+    for group in source:
+        for pred in group:
+            by_column.setdefault(pred.column, []).append(pred)
+    col_preds = {
+        col: combine_column_predicates(preds)
+        for col, preds in by_column.items()
+    }
+    ordered = sorted(
+        col_preds,
+        key=lambda col: estimate_selectivity(
+            projection.column(col).file(query.encoding_map.get(col)),
+            col_preds[col],
+        ),
+    )
+    value_cols = query.value_columns
+
+    lines = [f"{strategy.value} plan over projection {projection.name!r}"]
+    tail = []
+    if query.aggregates:
+        outputs = ", ".join(s.output_name for s in query.aggregates)
+        groups = ", ".join(query.group_columns)
+        tail.append(f"  Aggregate({outputs} GROUP BY {groups})")
+    if query.order_by:
+        keys = ", ".join(
+            f"{c}{' DESC' if d else ''}" for c, d in query.order_by
+        )
+        tail.append(f"  OrderBy({keys})")
+    if query.limit is not None:
+        tail.append(f"  Limit({query.limit})")
+
+    if query.disjuncts:
+        lines += tail
+        lines.append(f"  Merge({', '.join(value_cols)})")
+        for col in value_cols:
+            lines.append(f"    DS3({col}) [{_column_note(projection, query, col)}]")
+        lines.append("    UNION of position sets")
+        for group in query.disjuncts:
+            group_preds = {
+                col: combine_column_predicates(preds)
+                for col, preds in _group_by_column(group).items()
+            }
+            lines.append("      AND")
+            lines += _pred_lines(projection, query, group_preds, indent="        ")
+        return "\n".join(lines)
+
+    if strategy is Strategy.EM_PARALLEL:
+        lines += tail
+        preds = ", ".join(str(p) for p in col_preds.values()) or "true"
+        cols = ", ".join(
+            f"{c} [{_column_note(projection, query, c)}]"
+            for c in dict.fromkeys(list(col_preds) + value_cols)
+        )
+        lines.append(f"  SPC({preds})")
+        lines.append(f"    scan all blocks of: {cols}")
+        return "\n".join(lines)
+
+    if strategy is Strategy.EM_PIPELINED:
+        lines += tail
+        depth = 1
+        chain = []
+        first = ordered[0] if ordered else (value_cols or [None])[0]
+        rest = ordered[1:] + [c for c in value_cols if c not in col_preds]
+        for col in reversed(rest):
+            pred = col_preds.get(col)
+            label = str(pred) if pred is not None else f"fetch {col}"
+            chain.append((f"DS4({label})", col))
+        for text, col in chain:
+            lines.append(
+                "  " * depth + f"{text} [{_column_note(projection, query, col)}]"
+            )
+            depth += 1
+        first_pred = col_preds.get(first)
+        label = str(first_pred) if first_pred is not None else f"scan {first}"
+        lines.append(
+            "  " * depth
+            + f"DS2({label}) [{_column_note(projection, query, first)}]"
+        )
+        return "\n".join(lines)
+
+    # LM strategies share the extraction/merge top.
+    lines += tail
+    if query.aggregates:
+        lines.append(
+            "  vector aggregation input (no tuples constructed before groups)"
+        )
+    else:
+        lines.append(f"  Merge({', '.join(value_cols)})")
+    for col in value_cols:
+        reaccess = col in col_preds
+        suffix = " [re-access via pinned mini-column]" if reaccess else ""
+        lines.append(
+            f"    DS3({col}) [{_column_note(projection, query, col)}]{suffix}"
+        )
+    if strategy is Strategy.LM_PARALLEL:
+        if len(ordered) > 1:
+            lines.append("    AND")
+            lines += _pred_lines(projection, query, col_preds, indent="      ")
+        elif ordered:
+            lines += _pred_lines(projection, query, col_preds, indent="    ")
+        else:
+            lines.append("    full position range (no predicates)")
+        return "\n".join(lines)
+
+    # LM-pipelined.
+    depth = 2
+    for col in ordered[1:][::-1]:
+        cf = projection.column(col).file(query.encoding_map.get(col))
+        if not cf.encoding.supports_position_filtering:
+            raise UnsupportedOperationError(
+                f"LM-pipelined cannot position-filter {col!r} "
+                f"({cf.encoding.name})"
+            )
+        lines.append(
+            "  " * depth
+            + f"DS3+filter({col_preds[col]}) "
+            + f"[{_column_note(projection, query, col)}]"
+        )
+        depth += 1
+    if ordered:
+        first = ordered[0]
+        lines.append(
+            "  " * depth
+            + f"DS1({col_preds[first]}) "
+            + f"[{_column_note(projection, query, first)}]"
+        )
+    else:
+        lines.append("  " * depth + "full position range (no predicates)")
+    return "\n".join(lines)
+
+
+def _group_by_column(group) -> dict[str, list]:
+    by_column: dict[str, list] = {}
+    for pred in group:
+        by_column.setdefault(pred.column, []).append(pred)
+    return by_column

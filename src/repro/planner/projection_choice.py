@@ -1,0 +1,94 @@
+"""Projection selection for anchor tables.
+
+C-Store stores one logical table as several projections, each sorted
+differently; the optimizer routes a query to the projection whose physical
+design fits it best. Candidates must cover every column the query touches;
+among those, the winner is the one whose cheapest materialization strategy
+the analytical model predicts to be fastest — predicates matching a
+projection's sort prefix benefit from run-length compression, clustered
+indexes, and block skipping, all of which the model sees through the
+candidate's column metadata.
+"""
+
+from __future__ import annotations
+
+from ..errors import CatalogError, UnsupportedOperationError
+from ..storage.catalog import Catalog
+from ..storage.projection import Projection
+
+
+def covering_candidates(catalog: Catalog, query) -> list[Projection]:
+    """Candidate projections of the query's table that cover its columns."""
+    candidates = catalog.candidates(query.projection)
+    if not candidates:
+        raise CatalogError(f"unknown projection or table {query.projection!r}")
+    needed = set(query.all_columns)
+    covering = [
+        p for p in candidates if needed <= set(p.column_names)
+    ]
+    if not covering:
+        raise CatalogError(
+            f"no projection of {query.projection!r} covers columns "
+            f"{sorted(needed)}"
+        )
+    return covering
+
+
+def resolve_projection(
+    catalog: Catalog, query, constants=None, resident: float = 0.0
+) -> Projection:
+    """Pick the best covering projection for *query*.
+
+    A direct projection name resolves to itself; an anchor-table name with
+    several covering projections is decided by the model's cheapest
+    applicable strategy per candidate.
+    """
+    covering = covering_candidates(catalog, query)
+    if len(covering) == 1:
+        return covering[0]
+
+    from ..model.constants import PAPER_CONSTANTS
+    from ..model.predictor import predict_select
+    from .strategies import Strategy
+
+    constants = constants or PAPER_CONSTANTS
+    best_projection = None
+    best_ms = float("inf")
+    for projection in covering:
+        for strategy in Strategy:
+            try:
+                # Encoding overrides may name encodings a candidate lacks;
+                # such a candidate simply loses that strategy.
+                predicted = predict_select(
+                    projection,
+                    query,
+                    strategy,
+                    constants=constants,
+                    resident=resident,
+                ).total_ms
+            except (CatalogError, UnsupportedOperationError):
+                continue
+            if predicted < best_ms:
+                best_ms = predicted
+                best_projection = projection
+    if best_projection is None:
+        # Every prediction failed (e.g. encoding overrides excluded all
+        # candidates) — fall back to the first covering candidate.
+        return covering[0]
+    return best_projection
+
+
+def resolve_join_side(
+    catalog: Catalog, name: str, needed_columns: list[str]
+) -> Projection:
+    """Pick a projection of *name* covering the join's needed columns."""
+    candidates = catalog.candidates(name)
+    if not candidates:
+        raise CatalogError(f"unknown projection or table {name!r}")
+    needed = set(needed_columns)
+    for projection in candidates:
+        if needed <= set(projection.column_names):
+            return projection
+    raise CatalogError(
+        f"no projection of {name!r} covers columns {sorted(needed)}"
+    )

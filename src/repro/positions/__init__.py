@@ -1,0 +1,35 @@
+"""Position-set representations and their boolean algebra.
+
+A position is the ordinal offset of a value within a column. Late
+materialization operates on *sets of positions* instead of values; the paper
+(Section 2.1.1, 3.3) considers three physical representations, all provided
+here:
+
+* :class:`RangePositions` — a contiguous ``[start, stop)`` run.
+* :class:`BitmapPositions` — one bit per position over a covering window,
+  packed into 64-bit words so that 64 positions are intersected per machine
+  word operation.
+* :class:`ListedPositions` — an explicit sorted array of positions, best when
+  few positions survive.
+
+:func:`from_mask` picks a representation from a boolean mask using the same
+heuristics the paper describes (ranges when contiguous, bitmaps when dense,
+lists when sparse), and :func:`intersect_all` / :func:`union_all` implement
+the AND/OR operators over any mix of representations.
+"""
+
+from .base import PositionSet
+from .ranges import RangePositions
+from .listed import ListedPositions
+from .bitmap import BitmapPositions
+from .ops import from_mask, intersect_all, union_all
+
+__all__ = [
+    "PositionSet",
+    "RangePositions",
+    "ListedPositions",
+    "BitmapPositions",
+    "from_mask",
+    "intersect_all",
+    "union_all",
+]

@@ -1,0 +1,96 @@
+"""Abstract position-set interface."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Iterator
+
+import numpy as np
+
+
+class PositionSet(ABC):
+    """An immutable set of row positions within a column.
+
+    All concrete representations expose the same algebra so operators can mix
+    them freely; conversions happen lazily inside the binary operations.
+    """
+
+    __slots__ = ()
+
+    kind: str = "abstract"
+
+    @abstractmethod
+    def count(self) -> int:
+        """Number of positions in the set."""
+
+    @abstractmethod
+    def is_empty(self) -> bool:
+        """True when no position is contained."""
+
+    @abstractmethod
+    def bounds(self) -> tuple[int, int] | None:
+        """Smallest and largest contained position, or None when empty."""
+
+    @abstractmethod
+    def to_array(self) -> np.ndarray:
+        """Materialise as a sorted int64 array of positions."""
+
+    @abstractmethod
+    def to_mask(self, start: int, stop: int) -> np.ndarray:
+        """Boolean mask over the window ``[start, stop)``.
+
+        Index ``i`` of the result is True iff position ``start + i`` is in
+        the set. Positions outside the window are simply not represented.
+        """
+
+    @abstractmethod
+    def intersect(self, other: "PositionSet") -> "PositionSet":
+        """Set intersection with another position set (any representation)."""
+
+    @abstractmethod
+    def union(self, other: "PositionSet") -> "PositionSet":
+        """Set union with another position set (any representation)."""
+
+    @abstractmethod
+    def restrict(self, start: int, stop: int) -> "PositionSet":
+        """Subset of positions falling in ``[start, stop)``."""
+
+    @abstractmethod
+    def runs(self) -> Iterator[tuple[int, int]]:
+        """Iterate maximal contiguous runs as ``(start, stop)`` half-open pairs."""
+
+    def contains(self, position: int) -> bool:
+        """Membership test for a single position (mainly for tests)."""
+        lo_hi = self.bounds()
+        if lo_hi is None or not lo_hi[0] <= position <= lo_hi[1]:
+            return False
+        return bool(np.isin(position, self.to_array()))
+
+    # The word size used when intersecting bitmaps; the paper's "32 (or 64)
+    # positions per instruction".
+    WORD_BITS = 64
+
+    def __len__(self) -> int:
+        return self.count()
+
+    def __bool__(self) -> bool:
+        return not self.is_empty()
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, PositionSet):
+            return NotImplemented
+        return np.array_equal(self.to_array(), other.to_array())
+
+    def __hash__(self):  # pragma: no cover - sets are not meant to be keys
+        return id(self)
+
+
+def runs_from_array(positions: np.ndarray) -> Iterator[tuple[int, int]]:
+    """Yield maximal contiguous runs from a sorted position array."""
+    if positions.size == 0:
+        return
+    breaks = np.nonzero(np.diff(positions) != 1)[0]
+    run_starts = np.concatenate(([0], breaks + 1))
+    run_ends = np.concatenate((breaks, [positions.size - 1]))
+    for s, e in zip(run_starts, run_ends):
+        yield int(positions[s]), int(positions[e]) + 1

@@ -1,0 +1,142 @@
+"""Bit-mapped position sets packed into 64-bit words."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .base import PositionSet, runs_from_array
+
+WORD_BITS = 64
+
+
+def pack_mask(mask: np.ndarray) -> np.ndarray:
+    """Pack a boolean mask into little-endian uint64 words."""
+    nbits = mask.size
+    nwords = (nbits + WORD_BITS - 1) // WORD_BITS
+    if nwords * WORD_BITS != nbits:
+        padded = np.zeros(nwords * WORD_BITS, dtype=bool)
+        padded[:nbits] = mask
+        mask = padded
+    packed = np.packbits(mask, bitorder="little")
+    return packed.view(np.uint64)
+
+
+def unpack_words(words: np.ndarray, nbits: int) -> np.ndarray:
+    """Unpack uint64 words back into a boolean mask of length ``nbits``."""
+    as_bytes = words.view(np.uint8)
+    bits = np.unpackbits(as_bytes, bitorder="little", count=nbits)
+    return bits.astype(bool, copy=False)
+
+
+class BitmapPositions(PositionSet):
+    """One bit per position over the covering window ``[offset, offset+nbits)``.
+
+    This is the representation for which the paper claims 32/64-way SIMD-like
+    intersection: two bitmaps over the same window AND together with one word
+    operation per 64 positions. Positions outside the window are not members.
+    """
+
+    __slots__ = ("offset", "nbits", "words")
+
+    kind = "bitmap"
+
+    def __init__(self, offset: int, nbits: int, words: np.ndarray):
+        expected = (nbits + WORD_BITS - 1) // WORD_BITS
+        if words.size != expected:
+            raise ValueError(
+                f"bitmap of {nbits} bits needs {expected} words, got {words.size}"
+            )
+        self.offset = int(offset)
+        self.nbits = int(nbits)
+        self.words = np.ascontiguousarray(words, dtype=np.uint64)
+
+    @classmethod
+    def from_mask(cls, offset: int, mask: np.ndarray) -> "BitmapPositions":
+        return cls(offset, mask.size, pack_mask(mask))
+
+    @classmethod
+    def empty(cls) -> "BitmapPositions":
+        return cls(0, 0, np.empty(0, dtype=np.uint64))
+
+    def count(self) -> int:
+        return int(np.bitwise_count(self.words).sum())
+
+    def is_empty(self) -> bool:
+        return self.nbits == 0 or not self.words.any()
+
+    def bounds(self) -> tuple[int, int] | None:
+        if self.is_empty():
+            return None
+        mask = self.local_mask()
+        nz = np.nonzero(mask)[0]
+        return self.offset + int(nz[0]), self.offset + int(nz[-1])
+
+    def local_mask(self) -> np.ndarray:
+        """The window-relative boolean mask."""
+        return unpack_words(self.words, self.nbits)
+
+    def to_array(self) -> np.ndarray:
+        return self.offset + np.nonzero(self.local_mask())[0].astype(np.int64)
+
+    def to_mask(self, start: int, stop: int) -> np.ndarray:
+        mask = np.zeros(stop - start, dtype=bool)
+        local = self.local_mask()
+        lo = max(start, self.offset)
+        hi = min(stop, self.offset + self.nbits)
+        if hi > lo:
+            mask[lo - start : hi - start] = local[lo - self.offset : hi - self.offset]
+        return mask
+
+    def restrict(self, start: int, stop: int) -> PositionSet:
+        lo = max(start, self.offset)
+        hi = min(stop, self.offset + self.nbits)
+        if hi <= lo:
+            return BitmapPositions.empty()
+        return BitmapPositions.from_mask(
+            lo, self.local_mask()[lo - self.offset : hi - self.offset]
+        )
+
+    def runs(self) -> Iterator[tuple[int, int]]:
+        return runs_from_array(self.to_array())
+
+    def contains(self, position: int) -> bool:
+        if not self.offset <= position < self.offset + self.nbits:
+            return False
+        bit = position - self.offset
+        word = self.words[bit // WORD_BITS]
+        return bool((int(word) >> (bit % WORD_BITS)) & 1)
+
+    def _aligned_with(self, other: "BitmapPositions") -> bool:
+        return self.offset == other.offset and self.nbits == other.nbits
+
+    def intersect(self, other: PositionSet) -> PositionSet:
+        from .ranges import RangePositions
+
+        if isinstance(other, RangePositions):
+            return other.intersect(self)
+        if isinstance(other, BitmapPositions):
+            if self._aligned_with(other):
+                # The fast path: word-wise AND, 64 positions per operation.
+                return BitmapPositions(
+                    self.offset, self.nbits, self.words & other.words
+                )
+            lo = max(self.offset, other.offset)
+            hi = min(self.offset + self.nbits, other.offset + other.nbits)
+            if hi <= lo:
+                return BitmapPositions.empty()
+            mask = self.to_mask(lo, hi) & other.to_mask(lo, hi)
+            return BitmapPositions.from_mask(lo, mask)
+        # bitmap AND listed: delegate to the listed implementation.
+        return other.intersect(self)
+
+    def union(self, other: PositionSet) -> PositionSet:
+        if isinstance(other, BitmapPositions) and self._aligned_with(other):
+            return BitmapPositions(self.offset, self.nbits, self.words | other.words)
+        from .ops import union_via_arrays
+
+        return union_via_arrays(self, other)
+
+    def __repr__(self) -> str:
+        return f"BitmapPositions(offset={self.offset}, nbits={self.nbits})"

@@ -1,0 +1,95 @@
+"""Explicit sorted position lists."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .base import PositionSet, runs_from_array
+
+
+class ListedPositions(PositionSet):
+    """A sorted array of distinct positions.
+
+    The best representation when few positions survive filtering — the paper's
+    "listed positions" descriptor, "particularly useful when few positions
+    inside a multi-column are valid".
+    """
+
+    __slots__ = ("positions",)
+
+    kind = "listed"
+
+    def __init__(self, positions: np.ndarray, *, assume_sorted: bool = False):
+        arr = np.asarray(positions, dtype=np.int64)
+        if not assume_sorted:
+            arr = np.unique(arr)
+        self.positions = arr
+
+    @classmethod
+    def empty(cls) -> "ListedPositions":
+        return cls(np.empty(0, dtype=np.int64), assume_sorted=True)
+
+    def count(self) -> int:
+        return int(self.positions.size)
+
+    def is_empty(self) -> bool:
+        return self.positions.size == 0
+
+    def bounds(self) -> tuple[int, int] | None:
+        if self.is_empty():
+            return None
+        return int(self.positions[0]), int(self.positions[-1])
+
+    def to_array(self) -> np.ndarray:
+        return self.positions
+
+    def to_mask(self, start: int, stop: int) -> np.ndarray:
+        mask = np.zeros(stop - start, dtype=bool)
+        sel = self.positions[
+            (self.positions >= start) & (self.positions < stop)
+        ]
+        mask[sel - start] = True
+        return mask
+
+    def restrict(self, start: int, stop: int) -> "ListedPositions":
+        lo = np.searchsorted(self.positions, start, side="left")
+        hi = np.searchsorted(self.positions, stop, side="left")
+        return ListedPositions(self.positions[lo:hi], assume_sorted=True)
+
+    def runs(self) -> Iterator[tuple[int, int]]:
+        return runs_from_array(self.positions)
+
+    def contains(self, position: int) -> bool:
+        idx = np.searchsorted(self.positions, position)
+        return idx < self.positions.size and self.positions[idx] == position
+
+    def intersect(self, other: PositionSet) -> PositionSet:
+        from .ranges import RangePositions
+
+        if isinstance(other, RangePositions):
+            return other.intersect(self)
+        if isinstance(other, ListedPositions):
+            common = np.intersect1d(
+                self.positions, other.positions, assume_unique=True
+            )
+            return ListedPositions(common, assume_sorted=True)
+        # listed AND bitmap: probe the bitmap's window.
+        b = other.bounds()
+        if b is None or self.is_empty():
+            return ListedPositions.empty()
+        window = self.restrict(b[0], b[1] + 1)
+        if window.is_empty():
+            return ListedPositions.empty()
+        mask = other.to_mask(b[0], b[1] + 1)
+        keep = mask[window.positions - b[0]]
+        return ListedPositions(window.positions[keep], assume_sorted=True)
+
+    def union(self, other: PositionSet) -> PositionSet:
+        from .ops import union_via_arrays
+
+        return union_via_arrays(self, other)
+
+    def __repr__(self) -> str:
+        return f"ListedPositions(n={self.count()})"

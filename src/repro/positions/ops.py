@@ -1,0 +1,82 @@
+"""Operations over mixed position-set representations."""
+
+from __future__ import annotations
+
+from functools import reduce
+
+import numpy as np
+
+from .base import PositionSet
+from .bitmap import BitmapPositions
+from .listed import ListedPositions
+from .ranges import RangePositions
+
+# Below this fraction of set bits, a listed representation is denser than a
+# bitmap (64 bits per listed position vs 1 bit per covered position).
+SPARSE_THRESHOLD = 1.0 / 64.0
+
+
+def from_mask(offset: int, mask: np.ndarray) -> PositionSet:
+    """Choose a position representation for a window-relative boolean mask.
+
+    Mirrors the paper's descriptor choice: a single contiguous run becomes a
+    range, sparse results become listed positions, everything else a bitmap.
+    """
+    n = int(mask.sum())
+    if n == 0:
+        return RangePositions.empty()
+    nz = np.nonzero(mask)[0]
+    first, last = int(nz[0]), int(nz[-1])
+    if last - first + 1 == n:
+        return RangePositions(offset + first, offset + last + 1)
+    if n < mask.size * SPARSE_THRESHOLD:
+        return ListedPositions(offset + nz.astype(np.int64), assume_sorted=True)
+    return BitmapPositions.from_mask(offset, mask)
+
+
+def intersect_all(sets: list[PositionSet]) -> PositionSet:
+    """AND together any number of position sets.
+
+    Implements the paper's AND Case 3 ordering: ranges are intersected first
+    (constant cost each), then the remaining sets are folded in. Intersecting
+    the cheap ranges first shrinks the window every later operation works on.
+    """
+    if not sets:
+        raise ValueError("intersect_all of zero sets is undefined")
+    ranges = [s for s in sets if isinstance(s, RangePositions)]
+    others = [s for s in sets if not isinstance(s, RangePositions)]
+    ordered = ranges + others
+    return reduce(lambda a, b: a.intersect(b), ordered)
+
+
+def union_all(sets: list[PositionSet]) -> PositionSet:
+    """OR together any number of position sets."""
+    if not sets:
+        raise ValueError("union_all of zero sets is undefined")
+    bitmaps = [s for s in sets if isinstance(s, BitmapPositions)]
+    aligned = (
+        len(bitmaps) == len(sets)
+        and len({(b.offset, b.nbits) for b in bitmaps}) == 1
+    )
+    if aligned:
+        # Word-wise OR when every input covers the same window — the path the
+        # bit-vector encoding uses to evaluate range predicates.
+        words = reduce(lambda a, b: a | b, (b.words for b in bitmaps))
+        return BitmapPositions(bitmaps[0].offset, bitmaps[0].nbits, words)
+    return reduce(lambda a, b: a.union(b), sets)
+
+
+def union_via_arrays(a: PositionSet, b: PositionSet) -> PositionSet:
+    """Fallback union through sorted arrays; re-picks a compact representation."""
+    merged = np.union1d(a.to_array(), b.to_array())
+    if merged.size == 0:
+        return RangePositions.empty()
+    lo, hi = int(merged[0]), int(merged[-1])
+    if hi - lo + 1 == merged.size:
+        return RangePositions(lo, hi + 1)
+    span = hi - lo + 1
+    if merged.size < span * SPARSE_THRESHOLD:
+        return ListedPositions(merged, assume_sorted=True)
+    mask = np.zeros(span, dtype=bool)
+    mask[merged - lo] = True
+    return BitmapPositions.from_mask(lo, mask)

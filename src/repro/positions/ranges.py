@@ -1,0 +1,95 @@
+"""Contiguous position ranges."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from .base import PositionSet
+
+
+class RangePositions(PositionSet):
+    """The half-open contiguous range ``[start, stop)``.
+
+    Ranges arise from predicates over sorted columns (a clustered range scan
+    matches one contiguous slab) and are the cheapest representation to
+    intersect: range AND range is a constant-time clamp, and range AND bitmap
+    is a bitmap slice.
+    """
+
+    __slots__ = ("start", "stop")
+
+    kind = "range"
+
+    def __init__(self, start: int, stop: int):
+        if stop < start:
+            stop = start
+        self.start = int(start)
+        self.stop = int(stop)
+
+    @classmethod
+    def empty(cls) -> "RangePositions":
+        return cls(0, 0)
+
+    def count(self) -> int:
+        return self.stop - self.start
+
+    def is_empty(self) -> bool:
+        return self.stop <= self.start
+
+    def bounds(self) -> tuple[int, int] | None:
+        if self.is_empty():
+            return None
+        return self.start, self.stop - 1
+
+    def to_array(self) -> np.ndarray:
+        return np.arange(self.start, self.stop, dtype=np.int64)
+
+    def to_mask(self, start: int, stop: int) -> np.ndarray:
+        mask = np.zeros(stop - start, dtype=bool)
+        lo = max(self.start, start)
+        hi = min(self.stop, stop)
+        if hi > lo:
+            mask[lo - start : hi - start] = True
+        return mask
+
+    def restrict(self, start: int, stop: int) -> "RangePositions":
+        return RangePositions(max(self.start, start), min(self.stop, stop))
+
+    def runs(self) -> Iterator[tuple[int, int]]:
+        if not self.is_empty():
+            yield self.start, self.stop
+
+    def contains(self, position: int) -> bool:
+        return self.start <= position < self.stop
+
+    def intersect(self, other: PositionSet) -> PositionSet:
+        if self.is_empty():
+            return RangePositions.empty()
+        if isinstance(other, RangePositions):
+            return RangePositions(
+                max(self.start, other.start), min(self.stop, other.stop)
+            )
+        # Intersecting a range with anything else is a restriction of the
+        # other set to this window — the paper's "constant number of
+        # instructions" case for range AND bit-string.
+        return other.restrict(self.start, self.stop)
+
+    def union(self, other: PositionSet) -> PositionSet:
+        if self.is_empty():
+            return other
+        if isinstance(other, RangePositions):
+            if other.is_empty():
+                return self
+            # Overlapping or adjacent ranges merge into one range.
+            if other.start <= self.stop and self.start <= other.stop:
+                return RangePositions(
+                    min(self.start, other.start), max(self.stop, other.stop)
+                )
+        from .ops import union_via_arrays
+
+        return union_via_arrays(self, other)
+
+    def __repr__(self) -> str:
+        return f"RangePositions({self.start}, {self.stop})"

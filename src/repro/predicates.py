@@ -1,0 +1,186 @@
+"""SARGable single-column predicates.
+
+Every C-Store data source accepts simple search arguments (value comparisons
+against a constant) and applies them during the scan. Predicates here are
+vectorised: :meth:`Predicate.mask` evaluates a whole block of values at once,
+and :meth:`Predicate.matches_value` / :meth:`Predicate.overlaps_range` let
+RLE-aware operators and block-skipping logic reason about value ranges without
+decompressing.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, ClassVar
+
+import numpy as np
+
+from .errors import PlanError
+
+_OPS: dict[str, Callable] = {
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+    "=": operator.eq,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<>": operator.ne,
+}
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A comparison of one column against a constant, e.g. ``shipdate < 9000``."""
+
+    column: str
+    op: str
+    value: float
+
+    _CANONICAL: ClassVar[dict[str, str]] = {"==": "=", "<>": "!="}
+
+    def __post_init__(self):
+        if self.op not in _OPS:
+            raise PlanError(f"unsupported predicate operator {self.op!r}")
+        canonical = self._CANONICAL.get(self.op)
+        if canonical:
+            object.__setattr__(self, "op", canonical)
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        """Evaluate against a vector of values; returns a boolean mask."""
+        return _OPS[self.op](values, self.value)
+
+    def matches_value(self, value) -> bool:
+        """Evaluate against a single (e.g. run-length-encoded) value."""
+        return bool(_OPS[self.op](value, self.value))
+
+    def overlaps_range(self, lo, hi) -> bool:
+        """Could any value in the closed interval [lo, hi] satisfy the predicate?
+
+        Used for block skipping: if a block's min/max range cannot satisfy the
+        predicate, the block need not be read at all.
+        """
+        if self.op == "<":
+            return lo < self.value
+        if self.op == "<=":
+            return lo <= self.value
+        if self.op == ">":
+            return hi > self.value
+        if self.op == ">=":
+            return hi >= self.value
+        if self.op == "=":
+            return lo <= self.value <= hi
+        # "!=": only an all-equal block of exactly `value` can be skipped.
+        return not (lo == hi == self.value)
+
+    def contains_range(self, lo, hi) -> bool:
+        """Do *all* values in the closed interval [lo, hi] satisfy the predicate?
+
+        Lets run-aware code accept a whole run/block without testing values.
+        """
+        if self.op == "<":
+            return hi < self.value
+        if self.op == "<=":
+            return hi <= self.value
+        if self.op == ">":
+            return lo > self.value
+        if self.op == ">=":
+            return lo >= self.value
+        if self.op == "=":
+            return lo == hi == self.value
+        return hi < self.value or lo > self.value
+
+    def __str__(self) -> str:
+        return f"{self.column} {self.op} {self.value}"
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """Membership test against a small literal set, e.g. ``linenum IN (1,3,5)``.
+
+    Duck-compatible with :class:`Predicate`. On bit-vector encoded columns
+    this evaluates by OR-ing the matching bit-strings (the paper's bitmap
+    index case: "the positions matching a predicate can be derived by ORing
+    together the appropriate bitmaps").
+    """
+
+    column: str
+    in_values: tuple[float, ...]
+
+    def __post_init__(self):
+        if not self.in_values:
+            raise PlanError("IN predicate needs at least one value")
+        object.__setattr__(
+            self, "in_values", tuple(sorted(set(self.in_values)))
+        )
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        return np.isin(values, np.asarray(self.in_values))
+
+    def matches_value(self, value) -> bool:
+        return value in self.in_values
+
+    def overlaps_range(self, lo, hi) -> bool:
+        return any(lo <= v <= hi for v in self.in_values)
+
+    def contains_range(self, lo, hi) -> bool:
+        if lo == hi:
+            return lo in self.in_values
+        # Every integer in [lo, hi] must be listed.
+        members = set(self.in_values)
+        return all(v in members for v in range(int(lo), int(hi) + 1))
+
+    def __str__(self) -> str:
+        return f"{self.column} IN {self.in_values}"
+
+
+@dataclass(frozen=True)
+class ColumnConjunction:
+    """AND of several predicates over the same column.
+
+    Duck-compatible with :class:`Predicate` everywhere scans need it, so a
+    BETWEEN-style pair of comparisons flows through DS operators as one
+    SARGable unit.
+    """
+
+    column: str
+    predicates: tuple[Predicate, ...]
+
+    def __post_init__(self):
+        if not self.predicates:
+            raise PlanError("empty column conjunction")
+        if any(p.column != self.column for p in self.predicates):
+            raise PlanError("conjunction mixes columns")
+
+    def mask(self, values: np.ndarray) -> np.ndarray:
+        return conjunction_mask(list(self.predicates), values)
+
+    def matches_value(self, value) -> bool:
+        return all(p.matches_value(value) for p in self.predicates)
+
+    def overlaps_range(self, lo, hi) -> bool:
+        return all(p.overlaps_range(lo, hi) for p in self.predicates)
+
+    def contains_range(self, lo, hi) -> bool:
+        return all(p.contains_range(lo, hi) for p in self.predicates)
+
+    def __str__(self) -> str:
+        return " AND ".join(str(p) for p in self.predicates)
+
+
+def combine_column_predicates(predicates: list[Predicate]):
+    """Collapse same-column predicates into one scan-ready predicate."""
+    if len(predicates) == 1:
+        return predicates[0]
+    return ColumnConjunction(predicates[0].column, tuple(predicates))
+
+
+def conjunction_mask(predicates: list[Predicate], values: np.ndarray) -> np.ndarray:
+    """AND together the masks of several predicates over the same value vector."""
+    if not predicates:
+        return np.ones(len(values), dtype=bool)
+    mask = predicates[0].mask(values)
+    for pred in predicates[1:]:
+        mask &= pred.mask(values)
+    return mask

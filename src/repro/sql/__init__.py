@@ -1,0 +1,38 @@
+"""A small SQL front-end for the paper's query subset.
+
+Supports exactly the query shapes the paper evaluates::
+
+    SELECT shipdate, linenum FROM lineitem
+    WHERE shipdate < '1994-01-01' AND linenum < 7
+
+    SELECT shipdate, SUM(linenum) FROM lineitem
+    WHERE shipdate < '1994-01-01' AND linenum < 7
+    GROUP BY shipdate
+
+    SELECT o.shipdate, c.nationcode FROM orders o, customer c
+    WHERE o.custkey = c.custkey AND o.custkey < 150
+
+Statements are tokenized (:mod:`.lexer`), parsed into an AST (:mod:`.parser`,
+:mod:`.ast`), then bound against the catalog (:mod:`.binder`) into the same
+:class:`~repro.planner.logical.SelectQuery` / ``JoinQuery`` objects the
+programmatic API uses — dates and dictionary strings are encoded using the
+target column's schema during binding.
+"""
+
+from .ast import ColumnRef, Comparison, FuncCall, InList, JoinCondition, SelectStatement
+from .lexer import Token, tokenize
+from .parser import parse
+from .binder import bind
+
+__all__ = [
+    "tokenize",
+    "Token",
+    "parse",
+    "bind",
+    "SelectStatement",
+    "ColumnRef",
+    "FuncCall",
+    "Comparison",
+    "InList",
+    "JoinCondition",
+]

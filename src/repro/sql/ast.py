@@ -1,0 +1,84 @@
+"""Abstract syntax tree for the supported SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference, e.g. ``o.custkey``."""
+
+    column: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}" if self.table else self.column
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    """An aggregate call in the select list, e.g. ``SUM(linenum)``."""
+
+    func: str
+    arg: ColumnRef
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.arg})"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A column-vs-literal comparison in the WHERE clause."""
+
+    column: ColumnRef
+    op: str
+    value: str | float
+    is_string: bool = False
+
+
+@dataclass(frozen=True)
+class InList:
+    """A column-vs-literal-set membership test in the WHERE clause."""
+
+    column: ColumnRef
+    values: tuple
+    is_string: bool = False
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """A column-vs-column equality in the WHERE clause (the join predicate)."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+
+@dataclass(frozen=True)
+class TableRef:
+    """A FROM-clause table with optional alias."""
+
+    name: str
+    alias: str | None = None
+
+    @property
+    def binding(self) -> str:
+        return self.alias or self.name
+
+
+@dataclass
+class SelectStatement:
+    """One parsed SELECT statement."""
+
+    select: list[ColumnRef | FuncCall]
+    tables: list[TableRef]
+    comparisons: list[Comparison] = field(default_factory=list)
+    #: OR of conjunction groups (each a list of Comparison/InList); set only
+    #: when the WHERE clause contains OR — ``comparisons`` is empty then.
+    disjuncts: list[list] = field(default_factory=list)
+    join: JoinCondition | None = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    #: HAVING conjuncts: (output item, operator, numeric literal).
+    having: list[tuple] = field(default_factory=list)
+    order_by: list[tuple[ColumnRef, bool]] = field(default_factory=list)
+    limit: int | None = None

@@ -1,0 +1,287 @@
+"""Bind a parsed SQL AST against the catalog into logical queries."""
+
+from __future__ import annotations
+
+from datetime import date
+
+from ..dtypes import ColumnSchema
+from ..errors import SQLError
+from ..operators.aggregate import AggSpec
+from ..planner.logical import JoinQuery, SelectQuery
+from ..predicates import InPredicate, Predicate
+from ..storage.catalog import Catalog
+from .ast import ColumnRef, Comparison, FuncCall, InList, SelectStatement, TableRef
+
+
+def _table_columns(catalog: Catalog, name: str) -> dict:
+    """Union of column schemas over every projection of a table."""
+    columns: dict = {}
+    for projection in catalog.candidates(name):
+        for col in projection.column_names:
+            columns.setdefault(col, projection.schema(col))
+    return columns
+
+
+def _resolve_table(ref: ColumnRef, tables: list[TableRef], catalog: Catalog) -> TableRef:
+    if ref.table is not None:
+        for t in tables:
+            if t.binding == ref.table or t.name == ref.table:
+                return t
+        raise SQLError(f"unknown table qualifier {ref.table!r}")
+    owners = [
+        t for t in tables if ref.column in _table_columns(catalog, t.name)
+    ]
+    if not owners:
+        raise SQLError(f"unknown column {ref.column!r}")
+    if len(owners) > 1:
+        raise SQLError(f"ambiguous column {ref.column!r}; qualify it")
+    return owners[0]
+
+
+def _encode_literal(schema: ColumnSchema, comp: Comparison):
+    if comp.is_string:
+        value = str(comp.value)
+        if schema.ctype.name == "date":
+            try:
+                parsed = date.fromisoformat(value)
+            except ValueError:
+                raise SQLError(
+                    f"column {schema.name!r} expects a 'YYYY-MM-DD' date, "
+                    f"got {value!r}"
+                ) from None
+            return schema.encode_value(parsed)
+        if schema.dictionary:
+            return schema.encode_value(value)
+        raise SQLError(
+            f"column {schema.name!r} is numeric; string literal {value!r} "
+            "cannot be compared against it"
+        )
+    return comp.value
+
+
+def bind(
+    statement: SelectStatement,
+    catalog: Catalog,
+    encodings: dict[str, str] | None = None,
+) -> SelectQuery | JoinQuery:
+    """Turn a parsed statement into a :class:`SelectQuery` or :class:`JoinQuery`.
+
+    Args:
+        statement: the parsed AST.
+        catalog: catalog used to resolve tables, columns and literal types.
+        encodings: optional column -> encoding override (the experiments'
+            "LINENUM stored as bit-vector" switch; SQL itself has no syntax
+            for physical representation).
+    """
+    for t in statement.tables:
+        if not catalog.has(t.name):
+            raise SQLError(f"unknown projection or table {t.name!r}")
+    if len(statement.tables) == 1:
+        return _bind_select(statement, catalog, encodings)
+    if len(statement.tables) == 2:
+        if statement.join is None:
+            raise SQLError("two-table queries need a join condition")
+        if statement.order_by or statement.limit is not None:
+            raise SQLError("ORDER BY / LIMIT are not supported on joins")
+        if statement.disjuncts:
+            raise SQLError("OR is not supported in join queries")
+        return _bind_join(statement, catalog, encodings)
+    raise SQLError("at most two tables are supported")
+
+
+def _bind_select(
+    statement: SelectStatement,
+    catalog: Catalog,
+    encodings: dict[str, str] | None,
+) -> SelectQuery:
+    table = statement.tables[0]
+    table_schemas = _table_columns(catalog, table.name)
+
+    predicates = []
+    for comp in statement.comparisons:
+        _resolve_table(comp.column, statement.tables, catalog)
+        schema = _lookup(table_schemas, table.name, comp.column.column)
+        predicates.append(_bind_condition(schema, comp))
+    disjuncts = []
+    for group in statement.disjuncts:
+        bound_group = []
+        for comp in group:
+            _resolve_table(comp.column, statement.tables, catalog)
+            schema = _lookup(table_schemas, table.name, comp.column.column)
+            bound_group.append(_bind_condition(schema, comp))
+        disjuncts.append(tuple(bound_group))
+
+    select_names: list[str] = []
+    aggregates: list[AggSpec] = []
+    plain_columns: list[str] = []
+    for item in statement.select:
+        if isinstance(item, FuncCall):
+            schema = _lookup(table_schemas, table.name, item.arg.column)
+            spec = AggSpec(item.func, schema.name)
+            aggregates.append(spec)
+            select_names.append(spec.output_name)
+        else:
+            schema = _lookup(table_schemas, table.name, item.column)
+            plain_columns.append(schema.name)
+            select_names.append(schema.name)
+
+    group_by = tuple(
+        _lookup(table_schemas, table.name, ref.column).name
+        for ref in statement.group_by
+    )
+    if aggregates:
+        if not group_by:
+            raise SQLError("aggregates require GROUP BY")
+        stray = [c for c in plain_columns if c not in group_by]
+        if stray:
+            raise SQLError(
+                f"non-aggregated columns {stray} must match GROUP BY"
+            )
+    elif group_by:
+        raise SQLError("GROUP BY requires an aggregate in the select list")
+
+    having = []
+    for item, op, value in statement.having:
+        if isinstance(item, FuncCall):
+            name = AggSpec(item.func, item.arg.column).output_name
+        else:
+            name = item.column
+        if name not in select_names:
+            raise SQLError(
+                f"HAVING item {name!r} must appear in the select list"
+            )
+        having.append(Predicate(name, op, value))
+
+    order_by = []
+    for ref, descending in statement.order_by:
+        name = ref.column
+        if name not in select_names:
+            # Allow ordering by an aggregate via its output name, e.g.
+            # "ORDER BY sum(linenum)" parses as a FuncCall-shaped ident; the
+            # plain-column case must match the select list.
+            raise SQLError(
+                f"ORDER BY column {name!r} must appear in the select list"
+            )
+        order_by.append((name, descending))
+
+    return SelectQuery(
+        projection=table.name,
+        select=tuple(select_names),
+        predicates=tuple(predicates),
+        group_by=group_by or None,
+        aggregates=tuple(aggregates),
+        encodings=tuple((encodings or {}).items()),
+        order_by=tuple(order_by),
+        limit=statement.limit,
+        disjuncts=tuple(disjuncts),
+        having=tuple(having),
+    )
+
+
+def _bind_join(
+    statement: SelectStatement,
+    catalog: Catalog,
+    encodings: dict[str, str] | None,
+) -> JoinQuery:
+    join = statement.join
+    t_a = _resolve_table(join.left, statement.tables, catalog)
+    t_b = _resolve_table(join.right, statement.tables, catalog)
+    if t_a.binding == t_b.binding:
+        raise SQLError("join condition must reference both tables")
+
+    # The side carrying WHERE predicates is the outer (left/FK) input; with
+    # no predicates the first FROM table is the outer input.
+    pred_tables = {
+        _resolve_table(c.column, statement.tables, catalog).binding
+        for c in statement.comparisons
+    }
+    if len(pred_tables) > 1:
+        raise SQLError("join predicates must target a single (outer) table")
+    if pred_tables and t_b.binding in pred_tables:
+        t_a, t_b = t_b, t_a
+        join_left, join_right = join.right, join.left
+    else:
+        join_left, join_right = join.left, join.right
+    if _resolve_table(join_left, statement.tables, catalog).binding != t_a.binding:
+        join_left, join_right = join_right, join_left
+
+    left_schemas = _table_columns(catalog, t_a.name)
+    right_schemas = _table_columns(catalog, t_b.name)
+
+    predicates = []
+    for comp in statement.comparisons:
+        schema = _lookup(left_schemas, t_a.name, comp.column.column)
+        predicates.append(_bind_condition(schema, comp))
+
+    left_select: list[str] = []
+    right_select: list[str] = []
+    aggregates: list[AggSpec] = []
+    plain_columns: list[str] = []
+
+    def attribute(ref: ColumnRef) -> str:
+        owner = _resolve_table(ref, statement.tables, catalog)
+        name = ref.column
+        if owner.binding == t_a.binding:
+            _lookup(left_schemas, t_a.name, name)
+            if name not in left_select:
+                left_select.append(name)
+        else:
+            _lookup(right_schemas, t_b.name, name)
+            if name not in right_select:
+                right_select.append(name)
+        return name
+
+    for item in statement.select:
+        if isinstance(item, FuncCall):
+            aggregates.append(AggSpec(item.func, attribute(item.arg)))
+        else:
+            plain_columns.append(attribute(item))
+
+    group_by = tuple(attribute(ref) for ref in statement.group_by)
+    if aggregates:
+        stray = [c for c in plain_columns if c not in group_by]
+        if stray:
+            raise SQLError(
+                f"non-aggregated columns {stray} must match GROUP BY"
+            )
+    elif group_by:
+        raise SQLError("GROUP BY requires an aggregate in the select list")
+    if statement.having:
+        raise SQLError("HAVING is not supported on joins")
+
+    overlap = set(left_select) & set(right_select)
+    if overlap:
+        raise SQLError(f"output columns {sorted(overlap)} appear on both sides")
+
+    return JoinQuery(
+        left=t_a.name,
+        right=t_b.name,
+        left_key=join_left.column,
+        right_key=join_right.column,
+        left_select=tuple(left_select),
+        right_select=tuple(right_select),
+        left_predicates=tuple(predicates),
+        encodings=tuple((encodings or {}).items()),
+        group_by=group_by or None,
+        aggregates=tuple(aggregates),
+    )
+
+
+def _bind_condition(schema: ColumnSchema, comp):
+    """Bind one WHERE condition (comparison or IN list) to a predicate."""
+    if isinstance(comp, InList):
+        encoded = tuple(
+            _encode_literal(
+                schema,
+                Comparison(comp.column, "=", value, is_string=comp.is_string),
+            )
+            for value in comp.values
+        )
+        return InPredicate(schema.name, encoded)
+    return Predicate(schema.name, comp.op, _encode_literal(schema, comp))
+
+
+def _lookup(table_schemas: dict, table: str, column: str) -> ColumnSchema:
+    if column not in table_schemas:
+        raise SQLError(f"table {table!r} has no column {column!r}")
+    return table_schemas[column]

@@ -1,0 +1,95 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SQLError
+
+KEYWORDS = frozenset(
+    {"SELECT", "FROM", "WHERE", "AND", "OR", "GROUP", "BY", "AS",
+     "BETWEEN", "IN", "ORDER", "ASC", "DESC", "LIMIT", "HAVING",
+     "DISTINCT"}
+)
+
+OPERATORS = ("<=", ">=", "<>", "!=", "=", "<", ">")
+PUNCTUATION = (",", "(", ")", ".", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    Attributes:
+        kind: "keyword", "ident", "number", "string", "op", "punct" or "eof".
+        value: normalized token text (keywords uppercased).
+        pos: character offset in the source, for error messages.
+    """
+
+    kind: str
+    value: str
+    pos: int
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize a statement; raises :class:`SQLError` on unknown characters."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise SQLError(f"unterminated string literal at offset {i}")
+            tokens.append(Token("string", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch == "-" and i + 1 < n and text[i + 1].isdigit() and _number_context(tokens)
+        ):
+            j = i + 1
+            while j < n and (text[j].isdigit() or text[j] == "."):
+                j += 1
+            tokens.append(Token("number", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("keyword", upper, i))
+            else:
+                tokens.append(Token("ident", word.lower(), i))
+            i = j
+            continue
+        matched = False
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token("op", op, i))
+                i += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if ch in PUNCTUATION:
+            tokens.append(Token("punct", ch, i))
+            i += 1
+            continue
+        raise SQLError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("eof", "", n))
+    return tokens
+
+
+def _number_context(tokens: list[Token]) -> bool:
+    """A '-' starts a negative number only after an operator/keyword/'('."""
+    if not tokens:
+        return True
+    last = tokens[-1]
+    return last.kind in ("op", "keyword") or last.value in (",", "(")

@@ -1,0 +1,271 @@
+"""Recursive-descent parser for the supported SQL subset."""
+
+from __future__ import annotations
+
+from ..errors import SQLError
+from .ast import (
+    ColumnRef,
+    Comparison,
+    FuncCall,
+    InList,
+    JoinCondition,
+    SelectStatement,
+    TableRef,
+)
+from .lexer import Token, tokenize
+
+_AGG_FUNCS = frozenset({"sum", "count", "min", "max", "avg"})
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.i]
+
+    def advance(self) -> Token:
+        tok = self.current
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str, value: str | None = None) -> Token:
+        tok = self.current
+        if tok.kind != kind or (value is not None and tok.value != value):
+            want = value or kind
+            raise SQLError(
+                f"expected {want!r} at offset {tok.pos}, found {tok.value!r}"
+            )
+        return self.advance()
+
+    def accept(self, kind: str, value: str | None = None) -> Token | None:
+        tok = self.current
+        if tok.kind == kind and (value is None or tok.value == value):
+            return self.advance()
+        return None
+
+    # Grammar ------------------------------------------------------------
+
+    def statement(self) -> SelectStatement:
+        self.expect("keyword", "SELECT")
+        select = [self.select_item()]
+        while self.accept("punct", ","):
+            select.append(self.select_item())
+        self.expect("keyword", "FROM")
+        tables = [self.table_ref()]
+        while self.accept("punct", ","):
+            tables.append(self.table_ref())
+        comparisons: list[Comparison] = []
+        disjuncts: list[list] = []
+        join = None
+        if self.accept("keyword", "WHERE"):
+            groups, join = self._normalize_where(self.or_expr())
+            if len(groups) == 1:
+                comparisons = groups[0]
+            else:
+                disjuncts = groups
+        group_by: list[ColumnRef] = []
+        if self.accept("keyword", "GROUP"):
+            self.expect("keyword", "BY")
+            group_by.append(self.column_ref())
+            while self.accept("punct", ","):
+                group_by.append(self.column_ref())
+        having: list[tuple] = []
+        if self.accept("keyword", "HAVING"):
+            having.append(self.having_condition())
+            while self.accept("keyword", "AND"):
+                having.append(self.having_condition())
+        order_by: list[tuple[ColumnRef, bool]] = []
+        if self.accept("keyword", "ORDER"):
+            self.expect("keyword", "BY")
+            order_by.append(self.order_item())
+            while self.accept("punct", ","):
+                order_by.append(self.order_item())
+        limit = None
+        if self.accept("keyword", "LIMIT"):
+            tok = self.expect("number")
+            limit = int(float(tok.value))
+        self.expect("eof")
+        return SelectStatement(
+            select=select,
+            tables=tables,
+            comparisons=comparisons,
+            disjuncts=disjuncts,
+            join=join,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+        )
+
+    def having_condition(self) -> tuple:
+        """``HAVING <item> <op> <number>`` with item a column or aggregate."""
+        item = self.select_item()
+        op = self.expect("op")
+        value, is_string = self.literal()
+        if is_string:
+            raise SQLError("HAVING compares against numeric literals")
+        return (item, op.value, value)
+
+    # Boolean WHERE grammar: OR < AND < ( ) < condition. The tree is
+    # normalized to disjunctive normal form; a join condition may only
+    # appear at the top-level conjunction.
+
+    def or_expr(self):
+        node = self.and_expr()
+        while self.accept("keyword", "OR"):
+            right = self.and_expr()
+            node = ("or", [node, right])
+        return node
+
+    def and_expr(self):
+        node = self.where_term()
+        while self.accept("keyword", "AND"):
+            right = self.where_term()
+            node = ("and", [node, right])
+        return node
+
+    def where_term(self):
+        if self.accept("punct", "("):
+            node = self.or_expr()
+            self.expect("punct", ")")
+            return node
+        return ("leaf", self.condition())
+
+    def _to_dnf(self, node) -> list[list]:
+        """Expand an and/or/leaf tree into OR-of-AND groups."""
+        kind, payload = node
+        if kind == "leaf":
+            if isinstance(payload, JoinCondition):
+                return [[payload]]
+            return [list(payload)]
+        if kind == "or":
+            groups: list[list] = []
+            for child in payload:
+                groups.extend(self._to_dnf(child))
+            return groups
+        # "and": cross product of the children's groups.
+        groups = [[]]
+        for child in payload:
+            child_groups = self._to_dnf(child)
+            groups = [
+                g + cg for g in groups for cg in child_groups
+            ]
+        return groups
+
+    def _normalize_where(self, node):
+        """Return (conjunction groups, join condition)."""
+        groups = self._to_dnf(node)
+        join = None
+        cleaned: list[list] = []
+        for group in groups:
+            conditions = []
+            for item in group:
+                if isinstance(item, JoinCondition):
+                    if len(groups) > 1:
+                        raise SQLError(
+                            "a join condition cannot appear under OR"
+                        )
+                    if join is not None and join != item:
+                        raise SQLError(
+                            "at most one join condition is supported"
+                        )
+                    join = item
+                else:
+                    conditions.append(item)
+            cleaned.append(conditions)
+        if len(cleaned) > 1 and any(not g for g in cleaned):
+            raise SQLError("every OR branch needs at least one condition")
+        return cleaned, join
+
+    def order_item(self) -> tuple[ColumnRef, bool]:
+        ref = self.column_ref()
+        if self.accept("keyword", "DESC"):
+            return ref, True
+        self.accept("keyword", "ASC")
+        return ref, False
+
+    def select_item(self) -> ColumnRef | FuncCall:
+        tok = self.expect("ident")
+        if self.accept("punct", "("):
+            func = tok.value
+            if func not in _AGG_FUNCS:
+                raise SQLError(f"unknown aggregate function {func!r}")
+            if self.accept("keyword", "DISTINCT"):
+                if func != "count":
+                    raise SQLError("DISTINCT is only supported inside COUNT")
+                func = "count_distinct"
+            arg = self.column_ref()
+            self.expect("punct", ")")
+            return FuncCall(func=func, arg=arg)
+        return self._qualify(tok)
+
+    def column_ref(self) -> ColumnRef:
+        tok = self.expect("ident")
+        return self._qualify(tok)
+
+    def _qualify(self, tok: Token) -> ColumnRef:
+        if self.accept("punct", "."):
+            column = self.expect("ident")
+            return ColumnRef(column=column.value, table=tok.value)
+        return ColumnRef(column=tok.value)
+
+    def table_ref(self) -> TableRef:
+        name = self.expect("ident")
+        alias = self.accept("ident")
+        return TableRef(name=name.value, alias=alias.value if alias else None)
+
+    def condition(self) -> JoinCondition | list:
+        left = self.column_ref()
+        if self.accept("keyword", "IN"):
+            self.expect("punct", "(")
+            values = [self.literal()]
+            while self.accept("punct", ","):
+                values.append(self.literal())
+            self.expect("punct", ")")
+            kinds = {is_string for _v, is_string in values}
+            if len(kinds) > 1:
+                raise SQLError("IN list mixes string and numeric literals")
+            return [
+                InList(
+                    left,
+                    tuple(v for v, _s in values),
+                    is_string=kinds.pop(),
+                )
+            ]
+        if self.accept("keyword", "BETWEEN"):
+            lo = self.literal()
+            self.expect("keyword", "AND")
+            hi = self.literal()
+            return [
+                Comparison(left, ">=", lo[0], is_string=lo[1]),
+                Comparison(left, "<=", hi[0], is_string=hi[1]),
+            ]
+        op = self.expect("op")
+        if self.current.kind == "ident":
+            right = self.column_ref()
+            if op.value != "=":
+                raise SQLError(
+                    f"column-to-column comparison must use '=' (offset {op.pos})"
+                )
+            return JoinCondition(left=left, right=right)
+        value, is_string = self.literal()
+        return [Comparison(left, op.value, value, is_string=is_string)]
+
+    def literal(self) -> tuple[str | float, bool]:
+        tok = self.current
+        if tok.kind == "number":
+            self.advance()
+            value = float(tok.value)
+            return (int(value) if value.is_integer() else value), False
+        if tok.kind == "string":
+            self.advance()
+            return tok.value, True
+        raise SQLError(f"expected a literal at offset {tok.pos}")
+
+
+def parse(text: str) -> SelectStatement:
+    """Parse one SELECT statement; raises :class:`SQLError` on bad input."""
+    return _Parser(tokenize(text)).statement()

@@ -1,0 +1,38 @@
+"""On-disk column storage.
+
+Each column of a projection is stored in its own file as a sequence of 64 KB
+blocks (`block.py`), encoded with one of three codecs — uncompressed
+(`uncompressed.py`), run-length (`rle.py`), bit-vector (`bitvector.py`),
+dictionary (`dictionary.py`), or frame-of-reference (`forenc.py`) —
+behind a common interface (`encoding.py`). `column_file.py` handles the file
+format; `projection.py` and `catalog.py` manage sorted column groups
+(C-Store projections) and their metadata.
+"""
+
+from .block import BLOCK_SIZE, BlockDescriptor
+from .encoding import Encoding, encoding_by_name
+from .uncompressed import UncompressedEncoding
+from .rle import RLEEncoding
+from .bitvector import BitVectorEncoding
+from .dictionary import DictionaryEncoding
+from .forenc import FrameOfReferenceEncoding
+from .column_file import ColumnFile, write_column
+from .projection import Projection, ProjectionColumn
+from .catalog import Catalog
+
+__all__ = [
+    "BLOCK_SIZE",
+    "BlockDescriptor",
+    "Encoding",
+    "encoding_by_name",
+    "UncompressedEncoding",
+    "RLEEncoding",
+    "BitVectorEncoding",
+    "DictionaryEncoding",
+    "FrameOfReferenceEncoding",
+    "ColumnFile",
+    "write_column",
+    "Projection",
+    "ProjectionColumn",
+    "Catalog",
+]

@@ -1,0 +1,109 @@
+"""Database catalog: a directory of projections."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..dtypes import ColumnSchema
+from ..errors import CatalogError
+from .projection import META_FILE, Projection
+
+
+class Catalog:
+    """Tracks every projection stored under one database root directory."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._projections: dict[str, Projection] = {}
+        self._discover()
+
+    def _discover(self) -> None:
+        for meta in sorted(self.root.glob(f"*/{META_FILE}")):
+            proj = Projection.open(meta.parent)
+            self._projections[proj.name] = proj
+
+    def create_projection(
+        self,
+        name: str,
+        data: dict[str, np.ndarray],
+        schemas: dict[str, ColumnSchema],
+        sort_keys: list[str],
+        encodings: dict[str, list[str]],
+        presorted: bool = False,
+        anchor: str | None = None,
+    ) -> Projection:
+        """Create and register a new projection (fails if the name exists)."""
+        if name in self._projections:
+            raise CatalogError(f"projection {name!r} already exists")
+        proj = Projection.create(
+            self.root / name,
+            name,
+            data,
+            schemas,
+            sort_keys,
+            encodings,
+            presorted=presorted,
+            anchor=anchor,
+        )
+        self._projections[name] = proj
+        return proj
+
+    def replace_projection(
+        self,
+        name: str,
+        data,
+        schemas,
+        sort_keys,
+        encodings,
+        anchor=None,
+    ) -> Projection:
+        """Atomically swap a projection's contents (the tuple mover's write).
+
+        The old directory is removed and the projection recreated with the
+        given data under the same name.
+        """
+        import shutil
+
+        if name in self._projections:
+            shutil.rmtree(self._projections[name].directory, ignore_errors=True)
+            del self._projections[name]
+        return self.create_projection(
+            name, data, schemas, sort_keys, encodings, anchor=anchor
+        )
+
+    def drop_projection(self, name: str) -> None:
+        """Delete a projection's directory and forget it."""
+        import shutil
+
+        proj = self.get(name)
+        shutil.rmtree(proj.directory, ignore_errors=True)
+        del self._projections[name]
+
+    def candidates(self, name: str) -> list[Projection]:
+        """Projections usable for *name*: its own, or those anchored to it."""
+        out = []
+        if name in self._projections:
+            out.append(self._projections[name])
+        for proj in self._projections.values():
+            if proj.anchor == name and proj.name != name:
+                out.append(proj)
+        return out
+
+    def has(self, name: str) -> bool:
+        """True when *name* is a projection or an anchor table name."""
+        return bool(self.candidates(name))
+
+    def get(self, name: str) -> Projection:
+        try:
+            return self._projections[name]
+        except KeyError:
+            raise CatalogError(f"unknown projection {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._projections
+
+    def names(self) -> list[str]:
+        return sorted(self._projections)

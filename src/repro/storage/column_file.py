@@ -1,0 +1,211 @@
+"""Column file format: header + sequence of encoded 64 KB blocks.
+
+Layout::
+
+    magic "RCOL0001" | uint32 header_len | header JSON | block payloads...
+
+The header carries the column schema, encoding name, and one descriptor per
+block (offset, length, position coverage, min/max). Descriptors live in the
+header so that block skipping never touches payload bytes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..dtypes import ColumnType, type_by_name
+from ..errors import CorruptBlockError, StorageError
+from .block import BlockDescriptor
+from .stats import ColumnHistogram
+from .encoding import Encoding, encoding_by_name
+
+MAGIC = b"RCOL0001"
+
+
+def write_column(
+    path: str | Path,
+    values: np.ndarray,
+    ctype: ColumnType,
+    encoding: Encoding,
+    column_name: str = "",
+) -> "ColumnFile":
+    """Encode *values* with *encoding* and write a column file at *path*."""
+    path = Path(path)
+    values = ctype.validate(values)
+    blocks = list(encoding.encode(values, ctype.numpy_dtype))
+    descriptors = []
+    offset = 0  # relative to payload area; rebased after header is sized
+    total_runs = 0
+    for index, blk in enumerate(blocks):
+        descriptors.append(
+            BlockDescriptor(
+                index=index,
+                offset=offset,
+                nbytes=len(blk.payload),
+                start_pos=blk.start_pos,
+                n_values=blk.n_values,
+                min_value=blk.min_value,
+                max_value=blk.max_value,
+                crc32=zlib.crc32(blk.payload),
+            )
+        )
+        offset += len(blk.payload)
+    histogram = ColumnHistogram.build(values)
+    header = {
+        "column": column_name or path.stem,
+        "dtype": ctype.name,
+        "encoding": encoding.name,
+        "n_values": int(len(values)),
+        "histogram": histogram.to_json(),
+        "blocks": [d.to_json() for d in descriptors],
+    }
+    header_bytes = json.dumps(header).encode("utf-8")
+    base = len(MAGIC) + 4 + len(header_bytes)
+    with open(path, "wb") as f:
+        f.write(MAGIC)
+        f.write(len(header_bytes).to_bytes(4, "little"))
+        f.write(header_bytes)
+        for blk in blocks:
+            f.write(blk.payload)
+    # Rebase descriptor offsets to absolute file offsets.
+    rebased = [
+        BlockDescriptor(
+            index=d.index,
+            offset=d.offset + base,
+            nbytes=d.nbytes,
+            start_pos=d.start_pos,
+            n_values=d.n_values,
+            min_value=d.min_value,
+            max_value=d.max_value,
+            crc32=d.crc32,
+        )
+        for d in descriptors
+    ]
+    for blk, desc in zip(blocks, rebased):
+        total_runs += encoding.stats_run_count(blk.payload, desc)
+    return ColumnFile(
+        path=path,
+        column=header["column"],
+        ctype=ctype,
+        encoding=encoding,
+        n_values=len(values),
+        descriptors=rebased,
+        total_runs=total_runs,
+        histogram=histogram,
+    )
+
+
+@dataclass
+class ColumnFile:
+    """Read-side handle on a column file: metadata plus payload access."""
+
+    path: Path
+    column: str
+    ctype: ColumnType
+    encoding: Encoding
+    n_values: int
+    descriptors: list[BlockDescriptor]
+    total_runs: int
+    histogram: ColumnHistogram | None = None
+
+    @classmethod
+    def open(cls, path: str | Path) -> "ColumnFile":
+        """Open a column file, reading only the header."""
+        path = Path(path)
+        with open(path, "rb") as f:
+            magic = f.read(len(MAGIC))
+            if magic != MAGIC:
+                raise StorageError(f"{path} is not a column file (bad magic)")
+            header_len = int.from_bytes(f.read(4), "little")
+            header = json.loads(f.read(header_len).decode("utf-8"))
+        base = len(MAGIC) + 4 + header_len
+        descriptors = []
+        for d in header["blocks"]:
+            d = dict(d)
+            d["offset"] += base
+            descriptors.append(BlockDescriptor.from_json(d))
+        ctype = type_by_name(header["dtype"])
+        encoding = encoding_by_name(header["encoding"])
+        total_runs = 0
+        histogram = (
+            ColumnHistogram.from_json(header["histogram"])
+            if header.get("histogram")
+            else None
+        )
+        cf = cls(
+            path=path,
+            column=header["column"],
+            ctype=ctype,
+            encoding=encoding,
+            n_values=header["n_values"],
+            descriptors=descriptors,
+            total_runs=total_runs,
+            histogram=histogram,
+        )
+        cf.total_runs = cf._count_runs()
+        return cf
+
+    def _count_runs(self) -> int:
+        if not self.encoding.supports_runs:
+            return self.n_values
+        total = 0
+        with open(self.path, "rb") as f:
+            for d in self.descriptors:
+                f.seek(d.offset)
+                total += self.encoding.stats_run_count(f.read(d.nbytes), d)
+        return total
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.descriptors)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.ctype.numpy_dtype
+
+    @property
+    def avg_run_length(self) -> float:
+        """The model's RL: average sorted-run length (1.0 when uncompressed)."""
+        if self.total_runs == 0:
+            return 1.0
+        return self.n_values / self.total_runs
+
+    def read_payload(self, index: int) -> bytes:
+        """Read one block payload straight from disk (bypassing any pool)."""
+        d = self.descriptors[index]
+        with open(self.path, "rb") as f:
+            f.seek(d.offset)
+            payload = f.read(d.nbytes)
+        if len(payload) != d.nbytes:
+            raise StorageError(
+                f"{self.path}: short read on block {index} "
+                f"({len(payload)} of {d.nbytes} bytes)"
+            )
+        if d.crc32 is not None and zlib.crc32(payload) != d.crc32:
+            raise CorruptBlockError(
+                f"{self.path}: block {index} failed checksum validation"
+            )
+        return payload
+
+    def read_all_values(self) -> np.ndarray:
+        """Decode the whole column to a value array (bulk maintenance path)."""
+        parts = [
+            self.encoding.decode(self.read_payload(d.index), d, self.dtype)
+            for d in self.descriptors
+        ]
+        if not parts:
+            return np.empty(0, dtype=self.dtype)
+        return np.concatenate(parts)
+
+    def blocks_for_positions(self, start: int, stop: int) -> list[BlockDescriptor]:
+        """Descriptors of blocks covering any position in ``[start, stop)``."""
+        return [d for d in self.descriptors if d.covers_positions(start, stop)]
+
+    def size_bytes(self) -> int:
+        return os.path.getsize(self.path)

@@ -1,0 +1,142 @@
+"""Common interface for column encodings (C-Store "DataSource" codecs).
+
+Each encoding knows how to break a value array into 64 KB block payloads and
+how to serve the four access patterns the paper's data sources need:
+
+* decode a whole block to values (EM scans, SPC);
+* scan a block with a predicate producing positions (DS1) or
+  position/value pairs (DS2);
+* gather values at given positions (DS3) — not all encodings support this;
+* expose run structure for operating directly on compressed data.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from ..errors import EncodingError, UnsupportedOperationError
+from ..positions import PositionSet
+from ..predicates import Predicate
+from .block import BlockDescriptor
+
+
+@dataclass(frozen=True)
+class EncodedBlock:
+    """A block payload paired with the coverage/statistics for its descriptor."""
+
+    payload: bytes
+    start_pos: int
+    n_values: int
+    min_value: float
+    max_value: float
+
+
+class Encoding(ABC):
+    """Abstract column codec."""
+
+    name: str = "abstract"
+
+    #: True when the codec can filter by position without decoding whole
+    #: blocks (the DS3 operator of LM-pipelined plans). Bit-vector encoding
+    #: cannot: there is no way to know a priori which bit-string a given
+    #: position's value lives in (paper, Section 4.1). Value *extraction* at
+    #: positions still works for every codec — bit-vector simply pays a full
+    #: block decompression to serve it.
+    supports_position_filtering: bool = True
+
+    #: True when the codec exposes run structure (value repeated over a
+    #: contiguous position range) for direct operation on compressed data.
+    supports_runs: bool = False
+
+    @abstractmethod
+    def encode(
+        self, values: np.ndarray, dtype: np.dtype, start_pos: int = 0
+    ) -> Iterator[EncodedBlock]:
+        """Split *values* into encoded 64 KB block payloads."""
+
+    @abstractmethod
+    def decode(
+        self, payload: bytes, desc: BlockDescriptor, dtype: np.dtype
+    ) -> np.ndarray:
+        """Decode a full block back to its value array (position order)."""
+
+    @abstractmethod
+    def scan_positions(
+        self,
+        payload: bytes,
+        desc: BlockDescriptor,
+        dtype: np.dtype,
+        predicate: Predicate,
+    ) -> PositionSet:
+        """DS1: positions within the block whose values satisfy *predicate*."""
+
+    def scan_pairs(
+        self,
+        payload: bytes,
+        desc: BlockDescriptor,
+        dtype: np.dtype,
+        predicate: Predicate | None,
+    ) -> tuple[PositionSet, np.ndarray]:
+        """DS2: (positions, values) surviving *predicate* (None = all pass)."""
+        values = self.decode(payload, desc, dtype)
+        if predicate is None:
+            from ..positions import RangePositions
+
+            return RangePositions(desc.start_pos, desc.end_pos), values
+        mask = predicate.mask(values)
+        from ..positions import from_mask
+
+        return from_mask(desc.start_pos, mask), values[mask]
+
+    def gather(
+        self,
+        payload: bytes,
+        desc: BlockDescriptor,
+        dtype: np.dtype,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """DS3: values at the given absolute positions (all within the block).
+
+        The default implementation decodes the whole block first — the only
+        option for bit-vector data, and the reason every strategy pays the
+        decompression toll there.
+        """
+        values = self.decode(payload, desc, dtype)
+        return values[positions - desc.start_pos]
+
+    def runs(
+        self, payload: bytes, desc: BlockDescriptor, dtype: np.dtype
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Run view ``(values, starts, lengths)`` with absolute start positions."""
+        raise UnsupportedOperationError(
+            f"{self.name} encoding has no run structure"
+        )
+
+    def stats_run_count(self, payload: bytes, desc: BlockDescriptor) -> int:
+        """Number of iterator steps a run-aware scan performs on this block.
+
+        Uncompressed data iterates per value; run-length data per run. Feeds
+        the analytical model's ``||C|| / RL`` terms.
+        """
+        return desc.n_values
+
+
+_REGISTRY: dict[str, Encoding] = {}
+
+
+def register_encoding(encoding: Encoding) -> Encoding:
+    """Register a codec instance under its name (idempotent per name)."""
+    _REGISTRY[encoding.name] = encoding
+    return encoding
+
+
+def encoding_by_name(name: str) -> Encoding:
+    """Look up a registered codec by catalog name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise EncodingError(f"unknown encoding {name!r}") from None

@@ -1,0 +1,110 @@
+"""Clustered (sorted-column) index.
+
+The paper (Section 2.1.1) observes that when a clustered index exists over a
+column, a range predicate's matching positions can be derived directly from
+the index — "the original column values never have to be accessed" — and the
+start/end position pair encodes the whole match set.
+
+A :class:`ClusteredIndex` stores, for a globally sorted column, each distinct
+value and the first position where it occurs. Lookups binary-search the value
+array and return a :class:`~repro.positions.RangePositions`; predicates whose
+match set is not one contiguous range (``!=``) report None and the caller
+falls back to a scan.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import StorageError
+from ..positions import RangePositions
+
+MAGIC = b"RIDX0001"
+
+
+class ClusteredIndex:
+    """Distinct values and their first positions for a sorted column."""
+
+    def __init__(self, values: np.ndarray, first_positions: np.ndarray, n_rows: int):
+        self.values = np.asarray(values, dtype=np.int64)
+        self.first_positions = np.asarray(first_positions, dtype=np.int64)
+        self.n_rows = int(n_rows)
+
+    @classmethod
+    def build(cls, column_values: np.ndarray) -> "ClusteredIndex":
+        """Build from a column's values; requires global sortedness."""
+        arr = np.asarray(column_values)
+        if len(arr) > 1 and not np.all(arr[1:] >= arr[:-1]):
+            raise StorageError(
+                "clustered index requires a globally sorted column"
+            )
+        if len(arr) == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return cls(empty, empty, 0)
+        change = np.nonzero(arr[1:] != arr[:-1])[0]
+        starts = np.concatenate(([0], change + 1))
+        return cls(arr[starts].astype(np.int64), starts, len(arr))
+
+    @property
+    def n_distinct(self) -> int:
+        return len(self.values)
+
+    def _position_of_first_ge(self, value) -> int:
+        """First position holding a value >= *value* (n_rows if none)."""
+        idx = int(np.searchsorted(self.values, value, side="left"))
+        if idx >= self.n_distinct:
+            return self.n_rows
+        return int(self.first_positions[idx])
+
+    def _position_of_first_gt(self, value) -> int:
+        idx = int(np.searchsorted(self.values, value, side="right"))
+        if idx >= self.n_distinct:
+            return self.n_rows
+        return int(self.first_positions[idx])
+
+    def lookup(self, predicate) -> RangePositions | None:
+        """Positions matching *predicate*, or None when not a single range."""
+        op, value = predicate.op, predicate.value
+        if op == "<":
+            return RangePositions(0, self._position_of_first_ge(value))
+        if op == "<=":
+            return RangePositions(0, self._position_of_first_gt(value))
+        if op == ">":
+            return RangePositions(self._position_of_first_gt(value), self.n_rows)
+        if op == ">=":
+            return RangePositions(self._position_of_first_ge(value), self.n_rows)
+        if op == "=":
+            return RangePositions(
+                self._position_of_first_ge(value),
+                self._position_of_first_gt(value),
+            )
+        return None  # "!=" is two ranges; compound predicates handled by caller
+
+    def lookup_range(self, lo, hi) -> RangePositions:
+        """Positions with values in the closed interval [lo, hi]."""
+        return RangePositions(
+            self._position_of_first_ge(lo), self._position_of_first_gt(hi)
+        )
+
+    def save(self, path: str | Path) -> None:
+        with open(path, "wb") as f:
+            f.write(MAGIC)
+            f.write(
+                np.array([self.n_distinct, self.n_rows], dtype=np.int64).tobytes()
+            )
+            f.write(self.values.tobytes())
+            f.write(self.first_positions.tobytes())
+
+    @classmethod
+    def load(cls, path: str | Path) -> "ClusteredIndex":
+        with open(path, "rb") as f:
+            magic = f.read(len(MAGIC))
+            if magic != MAGIC:
+                raise StorageError(f"{path} is not a clustered index file")
+            header = np.frombuffer(f.read(16), dtype=np.int64)
+            k, n_rows = int(header[0]), int(header[1])
+            values = np.frombuffer(f.read(8 * k), dtype=np.int64)
+            firsts = np.frombuffer(f.read(8 * k), dtype=np.int64)
+        return cls(values, firsts, n_rows)

@@ -1,0 +1,249 @@
+"""C-Store projections: groups of columns stored in a common sort order.
+
+A projection is a subset of a table's columns, all sorted by the same
+(possibly compound) sort key, each column in its own file. One logical column
+may be stored redundantly under several encodings — the paper stores LINENUM
+as uncompressed, RLE, and bit-vector simultaneously — so a query can pick the
+physical representation to scan.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from ..dtypes import ColumnSchema, type_by_name
+from ..errors import CatalogError
+from .column_file import ColumnFile, write_column
+from .encoding import encoding_by_name
+from .index import ClusteredIndex
+
+META_FILE = "projection.json"
+
+
+@dataclass
+class ProjectionColumn:
+    """One logical column of a projection and its physical encodings."""
+
+    schema: ColumnSchema
+    files: dict[str, Path]
+    index_path: Path | None = None
+    _open_files: dict[str, ColumnFile] = field(default_factory=dict)
+    _index: ClusteredIndex | None = field(default=None, repr=False)
+
+    @property
+    def index(self) -> ClusteredIndex | None:
+        """The column's clustered index, if one was built (sort-key columns)."""
+        if self.index_path is None:
+            return None
+        if self._index is None:
+            self._index = ClusteredIndex.load(self.index_path)
+        return self._index
+
+    @property
+    def encodings(self) -> list[str]:
+        return sorted(self.files)
+
+    def file(self, encoding: str | None = None) -> ColumnFile:
+        """Open (and cache) the column file for *encoding*.
+
+        With ``encoding=None`` the cheapest stored representation is chosen:
+        RLE when available, then uncompressed, then bit-vector.
+        """
+        if encoding is None:
+            for preferred in ("rle", "dictionary", "for", "uncompressed", "bitvector"):
+                if preferred in self.files:
+                    encoding = preferred
+                    break
+            else:
+                encoding = next(iter(sorted(self.files)))
+        if encoding not in self.files:
+            raise CatalogError(
+                f"column {self.schema.name!r} has no {encoding!r} encoding "
+                f"(available: {self.encodings})"
+            )
+        if encoding not in self._open_files:
+            self._open_files[encoding] = ColumnFile.open(self.files[encoding])
+        return self._open_files[encoding]
+
+
+@dataclass
+class Projection:
+    """A sorted column group persisted under one directory."""
+
+    name: str
+    directory: Path
+    n_rows: int
+    sort_keys: list[str]
+    columns: dict[str, ProjectionColumn]
+    anchor: str | None = None
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        name: str,
+        data: dict[str, np.ndarray],
+        schemas: dict[str, ColumnSchema],
+        sort_keys: list[str],
+        encodings: dict[str, list[str]],
+        presorted: bool = False,
+        anchor: str | None = None,
+    ) -> "Projection":
+        """Sort *data* by *sort_keys* and write one file per column encoding.
+
+        Args:
+            directory: target directory (created if missing).
+            name: projection name.
+            data: column name -> value array; all arrays the same length.
+            schemas: column name -> schema (must cover every data column).
+            sort_keys: ordered sort-key column names (may be empty).
+            encodings: column name -> list of encoding names to store.
+            presorted: skip sorting when the caller already ordered the rows.
+            anchor: logical table this projection belongs to. C-Store stores
+                one table as several differently-sorted projections; queries
+                naming the anchor are routed to the best-fitting projection.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        lengths = {len(v) for v in data.values()}
+        if len(lengths) > 1:
+            raise CatalogError(f"columns of {name!r} differ in length: {lengths}")
+        for col in data:
+            if schemas[col].ctype.name == "float64":
+                raise CatalogError(
+                    f"column {col!r}: float64 columns are not supported yet "
+                    "(the tuple pipeline is integer-typed; dictionary- or "
+                    "fixed-point-encode real-valued data)"
+                )
+        n_rows = lengths.pop() if lengths else 0
+
+        if sort_keys and not presorted and n_rows:
+            order = np.lexsort([data[k] for k in reversed(sort_keys)])
+            data = {col: np.ascontiguousarray(v[order]) for col, v in data.items()}
+
+        columns: dict[str, ProjectionColumn] = {}
+        # A clustered index is possible exactly for the primary sort key —
+        # the only globally sorted column (paper Section 2.1.1).
+        indexed = sort_keys[0] if sort_keys and n_rows else None
+        for col, values in data.items():
+            schema = schemas[col]
+            files: dict[str, Path] = {}
+            for enc_name in encodings.get(col, ["uncompressed"]):
+                encoding = encoding_by_name(enc_name)
+                path = directory / f"{col}.{enc_name}.col"
+                write_column(path, values, schema.ctype, encoding, column_name=col)
+                files[enc_name] = path
+            index_path = None
+            if col == indexed:
+                index_path = directory / f"{col}.idx"
+                ClusteredIndex.build(values).save(index_path)
+            columns[col] = ProjectionColumn(
+                schema=schema, files=files, index_path=index_path
+            )
+
+        proj = cls(
+            name=name,
+            directory=directory,
+            n_rows=n_rows,
+            sort_keys=list(sort_keys),
+            columns=columns,
+            anchor=anchor,
+        )
+        proj._write_meta()
+        return proj
+
+    def _write_meta(self) -> None:
+        meta = {
+            "name": self.name,
+            "n_rows": self.n_rows,
+            "sort_keys": self.sort_keys,
+            "anchor": self.anchor,
+            "columns": {
+                col: {
+                    "dtype": pc.schema.ctype.name,
+                    "dictionary": list(pc.schema.dictionary),
+                    "files": {
+                        enc: path.name for enc, path in pc.files.items()
+                    },
+                    "index": pc.index_path.name if pc.index_path else None,
+                }
+                for col, pc in self.columns.items()
+            },
+        }
+        with open(self.directory / META_FILE, "w", encoding="utf-8") as f:
+            json.dump(meta, f, indent=2)
+
+    @classmethod
+    def open(cls, directory: str | Path) -> "Projection":
+        """Load a projection from its directory metadata."""
+        directory = Path(directory)
+        meta_path = directory / META_FILE
+        if not meta_path.exists():
+            raise CatalogError(f"no projection metadata at {meta_path}")
+        with open(meta_path, encoding="utf-8") as f:
+            meta = json.load(f)
+        columns = {}
+        for col, info in meta["columns"].items():
+            schema = ColumnSchema(
+                name=col,
+                ctype=type_by_name(info["dtype"]),
+                dictionary=tuple(info["dictionary"]),
+            )
+            files = {
+                enc: directory / fname for enc, fname in info["files"].items()
+            }
+            index_name = info.get("index")
+            columns[col] = ProjectionColumn(
+                schema=schema,
+                files=files,
+                index_path=directory / index_name if index_name else None,
+            )
+        return cls(
+            name=meta["name"],
+            directory=directory,
+            n_rows=meta["n_rows"],
+            sort_keys=list(meta["sort_keys"]),
+            columns=columns,
+            anchor=meta.get("anchor"),
+        )
+
+    def column(self, name: str) -> ProjectionColumn:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise CatalogError(
+                f"projection {self.name!r} has no column {name!r}"
+            ) from None
+
+    def schema(self, name: str) -> ColumnSchema:
+        return self.column(name).schema
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self.columns)
+
+    def storage_report(self) -> dict:
+        """Physical-design summary: per column/encoding sizes and structure.
+
+        Returns ``{column: {encoding: {bytes, blocks, avg_run_length,
+        compression_ratio}}}`` where the ratio is stored bytes over the raw
+        fixed-width footprint (lower is better).
+        """
+        report: dict = {}
+        for col, pc in self.columns.items():
+            raw_bytes = max(self.n_rows * pc.schema.ctype.itemsize, 1)
+            per_encoding = {}
+            for enc in pc.encodings:
+                cf = pc.file(enc)
+                per_encoding[enc] = {
+                    "bytes": cf.size_bytes(),
+                    "blocks": cf.n_blocks,
+                    "avg_run_length": round(cf.avg_run_length, 2),
+                    "compression_ratio": round(cf.size_bytes() / raw_bytes, 3),
+                }
+            report[col] = per_encoding
+        return report

@@ -1,0 +1,60 @@
+"""Uncompressed column encoding: raw fixed-width values, position order."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..positions import PositionSet, from_mask
+from ..predicates import Predicate
+from .block import BLOCK_SIZE, BlockDescriptor
+from .encoding import EncodedBlock, Encoding, register_encoding
+
+
+class UncompressedEncoding(Encoding):
+    """Values stored back-to-back as little-endian fixed-width integers/floats.
+
+    The baseline encoding: every block holds ``BLOCK_SIZE // itemsize``
+    values, scans touch every value, and gathers are direct array indexing.
+    """
+
+    name = "uncompressed"
+    supports_position_filtering = True
+    supports_runs = False
+
+    def values_per_block(self, dtype: np.dtype) -> int:
+        return BLOCK_SIZE // dtype.itemsize
+
+    def encode(
+        self, values: np.ndarray, dtype: np.dtype, start_pos: int = 0
+    ) -> Iterator[EncodedBlock]:
+        values = np.ascontiguousarray(values, dtype=dtype)
+        per_block = self.values_per_block(dtype)
+        for off in range(0, len(values), per_block):
+            chunk = values[off : off + per_block]
+            yield EncodedBlock(
+                payload=chunk.tobytes(),
+                start_pos=start_pos + off,
+                n_values=len(chunk),
+                min_value=float(chunk.min()),
+                max_value=float(chunk.max()),
+            )
+
+    def decode(
+        self, payload: bytes, desc: BlockDescriptor, dtype: np.dtype
+    ) -> np.ndarray:
+        return np.frombuffer(payload, dtype=dtype, count=desc.n_values)
+
+    def scan_positions(
+        self,
+        payload: bytes,
+        desc: BlockDescriptor,
+        dtype: np.dtype,
+        predicate: Predicate,
+    ) -> PositionSet:
+        values = self.decode(payload, desc, dtype)
+        return from_mask(desc.start_pos, predicate.mask(values))
+
+
+UNCOMPRESSED = register_encoding(UncompressedEncoding())

@@ -1,0 +1,92 @@
+"""Utilities for testing code that builds on this library.
+
+Downstream users (and this repository's own suites) need throwaway
+projections with controllable shape: sortedness, cardinality, encodings.
+:func:`make_random_projection` builds one deterministically from a seed and
+returns the raw arrays alongside, so expected answers can be computed with
+plain numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .dtypes import INT32, INT64, ColumnSchema
+from .engine import Database
+from .storage.projection import Projection
+
+
+def make_random_projection(
+    db: Database,
+    name: str = "t",
+    n_rows: int = 10_000,
+    n_value_columns: int = 2,
+    cardinality: int = 100,
+    seed: int = 0,
+    encodings: dict[str, list[str]] | None = None,
+    anchor: str | None = None,
+) -> tuple[Projection, dict[str, np.ndarray]]:
+    """Create a sorted test projection; returns (projection, raw columns).
+
+    The projection has a sorted int64 key column ``k`` (RLE + uncompressed)
+    and ``n_value_columns`` int32 columns ``v0..`` drawn uniformly from
+    ``[0, cardinality)``. Pass *encodings* to override the physical design.
+
+    Args:
+        db: target database.
+        name: projection name.
+        n_rows: row count.
+        n_value_columns: number of ``v*`` payload columns.
+        cardinality: value domain size for every column.
+        seed: RNG seed (same seed, same data).
+        encodings: column -> encoding list override.
+        anchor: optional logical table to anchor the projection to.
+    """
+    rng = np.random.default_rng(seed)
+    data: dict[str, np.ndarray] = {
+        "k": np.sort(rng.integers(0, cardinality, size=n_rows)).astype(
+            np.int64
+        )
+    }
+    schemas: dict[str, ColumnSchema] = {"k": ColumnSchema("k", INT64)}
+    default_encodings: dict[str, list[str]] = {"k": ["rle", "uncompressed"]}
+    for i in range(n_value_columns):
+        col = f"v{i}"
+        data[col] = rng.integers(0, cardinality, size=n_rows).astype(np.int32)
+        schemas[col] = ColumnSchema(col, INT32)
+        default_encodings[col] = ["uncompressed"]
+    projection = db.catalog.create_projection(
+        name,
+        data,
+        schemas=schemas,
+        sort_keys=["k"],
+        encodings=encodings or default_encodings,
+        presorted=True,
+        anchor=anchor,
+    )
+    return projection, data
+
+
+def assert_queries_agree(db: Database, query, strategies=None) -> int:
+    """Run *query* under every strategy; assert identical sorted answers.
+
+    Returns the row count. Strategies that legitimately refuse
+    (UnsupportedOperationError) are skipped; at least two must run.
+    """
+    from .errors import UnsupportedOperationError
+    from .planner import Strategy
+
+    results = []
+    for strategy in strategies or list(Strategy):
+        try:
+            result = db.query(query, strategy=strategy, cold=True)
+        except UnsupportedOperationError:
+            continue
+        data = result.tuples.data
+        order = np.lexsort(tuple(data[:, i] for i in range(data.shape[1] - 1, -1, -1))) \
+            if data.size else np.empty(0, dtype=np.int64)
+        results.append(data[order])
+    assert len(results) >= 2, "fewer than two strategies could run"
+    for other in results[1:]:
+        assert np.array_equal(results[0], other)
+    return len(results[0])

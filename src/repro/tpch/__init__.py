@@ -1,0 +1,36 @@
+"""Deterministic TPC-H-style data generation (the paper's workload).
+
+The paper evaluates on TPC-H scale 10 (60 M lineitem rows). This package
+generates the same *structure* at configurable scale: the lineitem projection
+(RETURNFLAG, SHIPDATE, LINENUM, QUANTITY) with the paper's compound sort
+order and encodings, and the orders/customer pair for the join experiment.
+What matters for the experiments is preserved: LINENUM's 7-value domain,
+RETURNFLAG's 3-value domain, SHIPDATE's ~7-year day range, the sort-induced
+run structure that makes RLE effective, and the FK-PK relationship with
+|orders| = 10 x |customer|.
+"""
+
+from .generator import (
+    CustomerData,
+    LineitemData,
+    OrdersData,
+    SHIPDATE_MAX,
+    SHIPDATE_MIN,
+    generate_customer,
+    generate_lineitem,
+    generate_orders,
+)
+from .loader import load_tpch, lineitem_rows_for_scale
+
+__all__ = [
+    "LineitemData",
+    "OrdersData",
+    "CustomerData",
+    "SHIPDATE_MIN",
+    "SHIPDATE_MAX",
+    "generate_lineitem",
+    "generate_orders",
+    "generate_customer",
+    "load_tpch",
+    "lineitem_rows_for_scale",
+]

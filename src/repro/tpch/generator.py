@@ -1,0 +1,118 @@
+"""Column generators for the lineitem / orders / customer workload."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from datetime import date
+
+import numpy as np
+
+from ..dtypes import date_to_int
+
+SHIPDATE_MIN = date_to_int(date(1992, 1, 2))
+SHIPDATE_MAX = date_to_int(date(1998, 12, 1))
+"""TPC-H shipdate domain: 1992-01-02 .. 1998-12-01 (~2526 distinct days)."""
+
+RETURNFLAG_DICTIONARY = ("A", "N", "R")
+# Roughly TPC-H's observed distribution: ~25% A, ~50% N, ~25% R.
+_RETURNFLAG_WEIGHTS = (0.25, 0.50, 0.25)
+
+LINENUM_DOMAIN = np.arange(1, 8)
+# TPC-H orders have 1-7 lineitems uniformly, so linenumber=k appears in all
+# orders with >= k items: a strictly decreasing frequency for larger k.
+_LINENUM_WEIGHTS = (8 - LINENUM_DOMAIN) / float((8 - LINENUM_DOMAIN).sum())
+
+NATION_COUNT = 25
+
+
+@dataclass
+class LineitemData:
+    """Generated lineitem projection columns (unsorted)."""
+
+    returnflag: np.ndarray  # uint8 dictionary codes into RETURNFLAG_DICTIONARY
+    shipdate: np.ndarray  # int32 days since epoch
+    linenum: np.ndarray  # int32, domain 1..7
+    quantity: np.ndarray  # int32, domain 1..50
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.shipdate)
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        return {
+            "returnflag": self.returnflag,
+            "shipdate": self.shipdate,
+            "linenum": self.linenum,
+            "quantity": self.quantity,
+        }
+
+
+@dataclass
+class OrdersData:
+    """Generated orders columns (sorted by shipdate, custkey scattered)."""
+
+    shipdate: np.ndarray  # int32 days since epoch
+    custkey: np.ndarray  # int64 FK into customer
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.custkey)
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        return {"shipdate": self.shipdate, "custkey": self.custkey}
+
+
+@dataclass
+class CustomerData:
+    """Generated customer columns (custkey is a dense sorted PK)."""
+
+    custkey: np.ndarray  # int64 PK, 1..n
+    nationcode: np.ndarray  # int32, 0..24
+
+    @property
+    def n_rows(self) -> int:
+        return len(self.custkey)
+
+    def as_columns(self) -> dict[str, np.ndarray]:
+        return {"custkey": self.custkey, "nationcode": self.nationcode}
+
+
+def generate_lineitem(n_rows: int, seed: int = 42) -> LineitemData:
+    """Generate *n_rows* of lineitem data (call before projection sorting)."""
+    rng = np.random.default_rng(seed)
+    returnflag = rng.choice(
+        len(RETURNFLAG_DICTIONARY), size=n_rows, p=_RETURNFLAG_WEIGHTS
+    ).astype(np.uint8)
+    shipdate = rng.integers(
+        SHIPDATE_MIN, SHIPDATE_MAX + 1, size=n_rows, dtype=np.int64
+    ).astype(np.int32)
+    linenum = rng.choice(LINENUM_DOMAIN, size=n_rows, p=_LINENUM_WEIGHTS).astype(
+        np.int32
+    )
+    quantity = rng.integers(1, 51, size=n_rows, dtype=np.int64).astype(np.int32)
+    return LineitemData(
+        returnflag=returnflag,
+        shipdate=shipdate,
+        linenum=linenum,
+        quantity=quantity,
+    )
+
+
+def generate_orders(n_rows: int, n_customers: int, seed: int = 43) -> OrdersData:
+    """Generate orders sorted by shipdate; custkey uniform over customers."""
+    rng = np.random.default_rng(seed)
+    shipdate = np.sort(
+        rng.integers(SHIPDATE_MIN, SHIPDATE_MAX + 1, size=n_rows, dtype=np.int64)
+    ).astype(np.int32)
+    custkey = rng.integers(1, n_customers + 1, size=n_rows, dtype=np.int64)
+    return OrdersData(shipdate=shipdate, custkey=custkey)
+
+
+def generate_customer(n_rows: int, seed: int = 44) -> CustomerData:
+    """Generate the customer dimension: dense PK 1..n, random nation codes."""
+    rng = np.random.default_rng(seed)
+    custkey = np.arange(1, n_rows + 1, dtype=np.int64)
+    nationcode = rng.integers(0, NATION_COUNT, size=n_rows, dtype=np.int64).astype(
+        np.int32
+    )
+    return CustomerData(custkey=custkey, nationcode=nationcode)

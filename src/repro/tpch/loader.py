@@ -1,0 +1,100 @@
+"""Load generated TPC-H data into C-Store projections.
+
+Reproduces the paper's physical design:
+
+* ``lineitem`` projection over (RETURNFLAG, SHIPDATE, LINENUM, QUANTITY),
+  sorted by RETURNFLAG, then SHIPDATE, then LINENUM. RETURNFLAG and SHIPDATE
+  are RLE-compressed; LINENUM is stored redundantly as uncompressed, RLE,
+  and bit-vector; QUANTITY stays uncompressed.
+* ``orders`` (SHIPDATE, CUSTKEY) sorted by SHIPDATE, and ``customer``
+  (CUSTKEY, NATIONCODE) sorted by CUSTKEY, with the paper's 10:1 orders to
+  customer ratio and 4:1 lineitem to orders ratio.
+"""
+
+from __future__ import annotations
+
+from ..dtypes import DATE, INT32, INT64, UINT8, ColumnSchema
+from ..storage.catalog import Catalog
+from .generator import (
+    RETURNFLAG_DICTIONARY,
+    generate_customer,
+    generate_lineitem,
+    generate_orders,
+)
+
+LINEITEM_ROWS_PER_SCALE = 6_000_000
+"""TPC-H lineitem cardinality per unit scale factor."""
+
+
+def lineitem_rows_for_scale(scale: float) -> int:
+    """Lineitem cardinality at a TPC-H scale factor (floor 1 row)."""
+    return max(int(LINEITEM_ROWS_PER_SCALE * scale), 1)
+
+
+def load_tpch(
+    catalog: Catalog,
+    scale: float = 0.01,
+    seed: int = 42,
+    linenum_encodings: tuple[str, ...] = ("uncompressed", "rle", "bitvector"),
+) -> None:
+    """Generate and store the paper's three projections at the given scale.
+
+    The paper's scale-10 ratios are preserved: |lineitem| = 4 x |orders|,
+    |orders| = 10 x |customer| (60 M / 15 M / 1.5 M at scale 10).
+    """
+    n_lineitem = lineitem_rows_for_scale(scale)
+    n_orders = max(n_lineitem // 4, 1)
+    n_customer = max(n_orders // 10, 1)
+
+    lineitem = generate_lineitem(n_lineitem, seed=seed)
+    catalog.create_projection(
+        "lineitem",
+        lineitem.as_columns(),
+        schemas={
+            "returnflag": ColumnSchema(
+                "returnflag", UINT8, dictionary=RETURNFLAG_DICTIONARY
+            ),
+            "shipdate": ColumnSchema("shipdate", DATE),
+            "linenum": ColumnSchema("linenum", INT32),
+            "quantity": ColumnSchema("quantity", INT32),
+        },
+        sort_keys=["returnflag", "shipdate", "linenum"],
+        anchor="lineitem",
+        encodings={
+            "returnflag": ["rle"],
+            "shipdate": ["rle"],
+            "linenum": list(linenum_encodings),
+            "quantity": ["uncompressed"],
+        },
+    )
+
+    orders = generate_orders(n_orders, n_customer, seed=seed + 1)
+    catalog.create_projection(
+        "orders",
+        orders.as_columns(),
+        schemas={
+            "shipdate": ColumnSchema("shipdate", DATE),
+            "custkey": ColumnSchema("custkey", INT64),
+        },
+        sort_keys=["shipdate"],
+        encodings={"shipdate": ["rle"], "custkey": ["uncompressed"]},
+        presorted=True,
+        anchor="orders",
+    )
+
+    customer = generate_customer(n_customer, seed=seed + 2)
+    catalog.create_projection(
+        "customer",
+        customer.as_columns(),
+        schemas={
+            "custkey": ColumnSchema("custkey", INT64),
+            "nationcode": ColumnSchema("nationcode", INT32),
+        },
+        sort_keys=["custkey"],
+        encodings={
+            "custkey": ["uncompressed"],
+            "nationcode": ["uncompressed"],
+        },
+        presorted=True,
+        anchor="customer",
+    )

@@ -1,0 +1,47 @@
+"""Shared fixtures: a small TPC-H database and synthetic projections."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, load_tpch
+from repro.dtypes import INT32, INT64, ColumnSchema
+
+TPCH_SCALE = 0.002  # 12,000 lineitem rows; fast but multi-block.
+
+
+@pytest.fixture(scope="session")
+def tpch_db(tmp_path_factory) -> Database:
+    """A session-wide database with the paper's three projections loaded."""
+    root = tmp_path_factory.mktemp("tpch_db")
+    db = Database(root)
+    load_tpch(db.catalog, scale=TPCH_SCALE, seed=7)
+    return db
+
+
+@pytest.fixture()
+def fresh_db(tmp_path) -> Database:
+    """An empty database in a per-test directory."""
+    return Database(tmp_path / "db")
+
+
+@pytest.fixture()
+def simple_projection(fresh_db):
+    """A tiny two-column sorted projection for operator-level tests."""
+    rng = np.random.default_rng(123)
+    n = 5000
+    a = np.sort(rng.integers(0, 100, size=n)).astype(np.int32)
+    b = rng.integers(0, 10, size=n).astype(np.int32)
+    proj = fresh_db.catalog.create_projection(
+        "simple",
+        {"a": a, "b": b},
+        schemas={
+            "a": ColumnSchema("a", INT32),
+            "b": ColumnSchema("b", INT32),
+        },
+        sort_keys=["a"],
+        encodings={"a": ["rle", "uncompressed"], "b": ["uncompressed", "bitvector"]},
+        presorted=True,
+    )
+    return fresh_db, proj, a, b

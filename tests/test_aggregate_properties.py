@@ -1,0 +1,144 @@
+"""Property-based tests: EM and LM aggregation agree with a naive reference."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.buffer import BufferPool
+from repro.metrics import QueryStats
+from repro.operators import ExecutionContext, TupleSet
+from repro.operators.aggregate import (
+    AggregateEM,
+    AggregateLM,
+    AggSpec,
+    factorize_groups,
+)
+
+FUNCS = ["sum", "count", "min", "max", "avg"]
+
+
+def naive_reference(groups, values, func):
+    """Dict of group key -> aggregate, computed row-at-a-time in Python."""
+    buckets: dict = {}
+    for g, v in zip(groups, values):
+        buckets.setdefault(int(g), []).append(int(v))
+    out = {}
+    for g, vs in buckets.items():
+        if func == "sum":
+            out[g] = sum(vs)
+        elif func == "count":
+            out[g] = len(vs)
+        elif func == "min":
+            out[g] = min(vs)
+        elif func == "max":
+            out[g] = max(vs)
+        else:
+            out[g] = sum(vs) // len(vs)
+    return out
+
+
+rows = st.lists(
+    st.tuples(st.integers(-5, 5), st.integers(-100, 100)),
+    min_size=1,
+    max_size=300,
+)
+
+
+@given(rows, st.sampled_from(FUNCS))
+@settings(max_examples=150, deadline=None)
+def test_em_aggregation_matches_naive(data, func):
+    ctx = ExecutionContext(pool=BufferPool(), stats=QueryStats())
+    groups = np.array([g for g, _v in data], dtype=np.int64)
+    values = np.array([v for _g, v in data], dtype=np.int64)
+    tuples = TupleSet.stitch({"g": groups, "v": values})
+    out = AggregateEM(ctx, "g", [AggSpec(func, "v")]).execute(tuples)
+    expected = naive_reference(groups, values, func)
+    got = {
+        int(row[0]): int(row[1])
+        for row in out.select(["g", f"{func}(v)"]).rows()
+    }
+    assert got == expected
+
+
+@given(rows, st.sampled_from(FUNCS))
+@settings(max_examples=150, deadline=None)
+def test_lm_aggregation_matches_em(data, func):
+    ctx = ExecutionContext(pool=BufferPool(), stats=QueryStats())
+    groups = np.array([g for g, _v in data], dtype=np.int64)
+    values = np.array([v for _g, v in data], dtype=np.int64)
+    spec = AggSpec(func, "v")
+    em = AggregateEM(ctx, "g", [spec]).execute(
+        TupleSet.stitch({"g": groups, "v": values})
+    )
+    lm = AggregateLM(ctx, "g", [spec]).execute(groups, {"v": values})
+    assert em.select(["g", spec.output_name]).rows() == lm.select(
+        ["g", spec.output_name]
+    ).rows()
+
+
+@given(rows, st.sampled_from(FUNCS))
+@settings(max_examples=100, deadline=None)
+def test_run_based_aggregation_matches_row_based(data, func):
+    """execute_runs over a run-encoded group column equals plain execute."""
+    ctx = ExecutionContext(pool=BufferPool(), stats=QueryStats())
+    # Sort by group so the group column has run structure, then run-encode it.
+    data = sorted(data)
+    groups = np.array([g for g, _v in data], dtype=np.int64)
+    values = np.array([v for _g, v in data], dtype=np.int64)
+    change = np.nonzero(np.diff(groups))[0]
+    run_starts = np.concatenate(([0], change + 1))
+    run_values = groups[run_starts]
+    run_ids = np.searchsorted(run_starts, np.arange(len(groups)), side="right") - 1
+    spec = AggSpec(func, "v")
+    by_rows = AggregateLM(ctx, "g", [spec]).execute(groups, {"v": values})
+    by_runs = AggregateLM(ctx, "g", [spec]).execute_runs(
+        run_values, run_ids, {"v": values}
+    )
+    assert by_rows.select(["g", spec.output_name]).rows() == by_runs.select(
+        ["g", spec.output_name]
+    ).rows()
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 3), st.integers(-50, 50)),
+        min_size=1,
+        max_size=200,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_compound_group_keys_match_pairwise_naive(data):
+    ctx = ExecutionContext(pool=BufferPool(), stats=QueryStats())
+    a = np.array([x for x, _y, _v in data], dtype=np.int64)
+    b = np.array([y for _x, y, _v in data], dtype=np.int64)
+    v = np.array([z for _x, _y, z in data], dtype=np.int64)
+    out = AggregateEM(ctx, ("a", "b"), [AggSpec("sum", "v")]).execute(
+        TupleSet.stitch({"a": a, "b": b, "v": v})
+    )
+    expected: dict = {}
+    for x, y, z in data:
+        expected[(x, y)] = expected.get((x, y), 0) + z
+    got = {
+        (int(r[0]), int(r[1])): int(r[2])
+        for r in out.select(["a", "b", "sum(v)"]).rows()
+    }
+    assert got == expected
+
+
+@given(
+    st.lists(st.integers(-3, 3), min_size=1, max_size=100),
+    st.lists(st.integers(-3, 3), min_size=1, max_size=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_factorize_groups_properties(xs, ys):
+    n = min(len(xs), len(ys))
+    a = np.array(xs[:n], dtype=np.int64)
+    b = np.array(ys[:n], dtype=np.int64)
+    keys, inverse = factorize_groups([a, b])
+    # Reconstruction: keys[inverse] reproduces the input pairs.
+    assert np.array_equal(keys[0][inverse], a)
+    assert np.array_equal(keys[1][inverse], b)
+    # Distinctness: the key table has no duplicate pairs.
+    pairs = set(zip(keys[0].tolist(), keys[1].tolist()))
+    assert len(pairs) == len(keys[0])

@@ -1,0 +1,139 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def cli_db(tmp_path_factory):
+    root = tmp_path_factory.mktemp("cli_db")
+    assert main(["load-tpch", str(root), "--scale", "0.001"]) == 0
+    return root
+
+
+class TestLoadAndInfo:
+    def test_info_lists_projections(self, cli_db, capsys):
+        assert main(["info", str(cli_db)]) == 0
+        out = capsys.readouterr().out
+        assert "lineitem" in out
+        assert "bitvector, rle, uncompressed" in out
+        assert "[indexed]" in out
+
+    def test_info_empty_db(self, tmp_path, capsys):
+        assert main(["info", str(tmp_path / "empty")]) == 0
+        assert "no projections" in capsys.readouterr().out
+
+
+class TestQuery:
+    def test_select(self, cli_db, capsys):
+        code = main(
+            [
+                "query",
+                str(cli_db),
+                "SELECT shipdate, linenum FROM lineitem "
+                "WHERE shipdate < '1994-01-01' AND linenum < 7",
+                "--strategy",
+                "lm-parallel",
+                "--limit",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shipdate | linenum" in out
+        assert "strategy=lm-parallel" in out
+        assert "more rows" in out
+
+    def test_raw_vs_decoded(self, cli_db, capsys):
+        main(
+            [
+                "query",
+                str(cli_db),
+                "SELECT returnflag FROM lineitem WHERE returnflag = 'A'",
+                "--limit",
+                "1",
+            ]
+        )
+        decoded = capsys.readouterr().out
+        assert "\nA\n" in decoded
+        main(
+            [
+                "query",
+                str(cli_db),
+                "SELECT returnflag FROM lineitem WHERE returnflag = 'A'",
+                "--limit",
+                "1",
+                "--raw",
+            ]
+        )
+        raw = capsys.readouterr().out
+        assert "\n0\n" in raw
+
+    def test_encoding_override(self, cli_db, capsys):
+        code = main(
+            [
+                "query",
+                str(cli_db),
+                "SELECT linenum FROM lineitem WHERE linenum < 3",
+                "--encoding",
+                "linenum=bitvector",
+                "--cold",
+            ]
+        )
+        assert code == 0
+
+    def test_bad_encoding_syntax(self, cli_db):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "query",
+                    str(cli_db),
+                    "SELECT linenum FROM lineitem",
+                    "--encoding",
+                    "oops",
+                ]
+            )
+
+    def test_sql_error_returns_nonzero(self, cli_db, capsys):
+        code = main(["query", str(cli_db), "SELECT nope FROM lineitem"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+
+class TestExplain:
+    def test_lists_all_strategies(self, cli_db, capsys):
+        code = main(
+            [
+                "explain",
+                str(cli_db),
+                "SELECT shipdate, linenum FROM lineitem "
+                "WHERE shipdate < '1994-01-01' AND linenum < 7",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<- chosen" in out
+        for name in ("em-pipelined", "em-parallel", "lm-pipelined", "lm-parallel"):
+            assert name in out
+
+    def test_join_explain_lists_inner_strategies(self, cli_db, capsys):
+        code = main(
+            [
+                "explain",
+                str(cli_db),
+                "SELECT o.shipdate, c.nationcode FROM orders o, customer c "
+                "WHERE o.custkey = c.custkey AND o.custkey < 50",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("materialized", "multi-column", "single-column"):
+            assert name in out
+        assert "<- chosen" in out
+
+
+class TestParser:
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])

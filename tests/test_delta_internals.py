@@ -1,0 +1,173 @@
+"""Unit tests for the delta module's merge machinery."""
+
+import numpy as np
+import pytest
+
+from repro import AggSpec, Predicate, SelectQuery
+from repro.delta import (
+    delta_aggregate,
+    delta_select,
+    expand_avg,
+    internal_query,
+    merge_aggregates,
+)
+from repro.operators.tuples import TupleSet
+
+
+class TestExpandAvg:
+    def test_plain_specs_pass_through(self):
+        specs = (AggSpec("sum", "v"), AggSpec("count", "v"))
+        internal, plan = expand_avg(specs)
+        assert internal == list(specs)
+        assert plan == {
+            "sum(v)": ("direct", "sum(v)"),
+            "count(v)": ("direct", "count(v)"),
+        }
+
+    def test_avg_expands_to_sum_and_count(self):
+        internal, plan = expand_avg((AggSpec("avg", "v"),))
+        assert internal == [AggSpec("sum", "v"), AggSpec("count", "v")]
+        assert plan == {"avg(v)": ("avg", "sum(v)", "count(v)")}
+
+    def test_avg_reuses_existing_partials(self):
+        specs = (AggSpec("sum", "v"), AggSpec("avg", "v"))
+        internal, _plan = expand_avg(specs)
+        assert internal == [AggSpec("sum", "v"), AggSpec("count", "v")]
+
+
+class TestInternalQuery:
+    def test_plain_select_strips_order_and_limit(self):
+        query = SelectQuery(
+            projection="t",
+            select=("a",),
+            order_by=(("a", True),),
+            limit=3,
+        )
+        rewritten, plan = internal_query(query)
+        assert rewritten.order_by == ()
+        assert rewritten.limit is None
+        assert plan == {}
+
+    def test_aggregate_rewrite(self):
+        query = SelectQuery(
+            projection="t",
+            select=("g", "avg(v)"),
+            group_by="g",
+            aggregates=(AggSpec("avg", "v"),),
+            having=(Predicate("avg(v)", ">", 1),),
+        )
+        rewritten, plan = internal_query(query)
+        assert rewritten.select == ("g", "sum(v)", "count(v)")
+        assert rewritten.having == ()
+        assert plan["avg(v)"][0] == "avg"
+
+
+class TestDeltaSelect:
+    def test_empty_columns(self):
+        q = SelectQuery(projection="t", select=("a",))
+        assert delta_select(q, {}) == {}
+
+    def test_conjunction(self):
+        q = SelectQuery(
+            projection="t",
+            select=("a",),
+            predicates=(Predicate("a", ">", 1), Predicate("a", "<", 4)),
+        )
+        out = delta_select(q, {"a": np.array([0, 2, 3, 9])})
+        assert out["a"].tolist() == [2, 3]
+
+    def test_disjunction(self):
+        q = SelectQuery(
+            projection="t",
+            select=("a",),
+            disjuncts=(
+                (Predicate("a", "<", 1),),
+                (Predicate("a", ">", 8),),
+            ),
+        )
+        out = delta_select(q, {"a": np.array([0, 2, 3, 9])})
+        assert out["a"].tolist() == [0, 9]
+
+
+class TestMergeAggregates:
+    def test_overlapping_and_new_groups(self):
+        specs = [AggSpec("sum", "v"), AggSpec("count", "v")]
+        stored = TupleSet.stitch(
+            {
+                "g": np.array([1, 2]),
+                "sum(v)": np.array([10, 20]),
+                "count(v)": np.array([2, 4]),
+            }
+        )
+        pending = TupleSet.stitch(
+            {
+                "g": np.array([2, 3]),
+                "sum(v)": np.array([5, 7]),
+                "count(v)": np.array([1, 1]),
+            }
+        )
+        merged = merge_aggregates(
+            stored, pending, ["g"], specs,
+            {"sum(v)": ("direct", "sum(v)"), "count(v)": ("direct", "count(v)")},
+            ["g", "sum(v)", "count(v)"],
+        )
+        assert merged.rows() == [(1, 10, 2), (2, 25, 5), (3, 7, 1)]
+
+    def test_min_max_merge(self):
+        specs = [AggSpec("min", "v"), AggSpec("max", "v")]
+        stored = TupleSet.stitch(
+            {
+                "g": np.array([1]),
+                "min(v)": np.array([5]),
+                "max(v)": np.array([9]),
+            }
+        )
+        pending = TupleSet.stitch(
+            {
+                "g": np.array([1]),
+                "min(v)": np.array([3]),
+                "max(v)": np.array([7]),
+            }
+        )
+        merged = merge_aggregates(
+            stored, pending, ["g"], specs,
+            {"min(v)": ("direct", "min(v)"), "max(v)": ("direct", "max(v)")},
+            ["g", "min(v)", "max(v)"],
+        )
+        assert merged.rows() == [(1, 3, 9)]
+
+    def test_avg_reconstruction(self):
+        specs = [AggSpec("sum", "v"), AggSpec("count", "v")]
+        stored = TupleSet.stitch(
+            {
+                "g": np.array([1]),
+                "sum(v)": np.array([10]),
+                "count(v)": np.array([4]),
+            }
+        )
+        pending = TupleSet.stitch(
+            {
+                "g": np.array([1]),
+                "sum(v)": np.array([2]),
+                "count(v)": np.array([2]),
+            }
+        )
+        merged = merge_aggregates(
+            stored, pending, ["g"], specs,
+            {"avg(v)": ("avg", "sum(v)", "count(v)")},
+            ["g", "avg(v)"],
+        )
+        assert merged.rows() == [(1, 2)]  # (10+2) // (4+2)
+
+
+class TestDeltaAggregate:
+    def test_shapes_match_stored_side(self):
+        survivors = {
+            "g": np.array([1, 1, 2]),
+            "v": np.array([3, 4, 5]),
+        }
+        out = delta_aggregate(
+            [AggSpec("sum", "v")], ["g"], survivors
+        )
+        assert out.columns == ("g", "sum(v)")
+        assert out.rows() == [(1, 7), (2, 5)]

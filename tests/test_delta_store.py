@@ -1,0 +1,185 @@
+"""Tests for the writable store: inserts, merge-on-read, and the tuple mover."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro import AggSpec, Database, Predicate, SelectQuery, load_tpch
+from repro.errors import CatalogError, ExecutionError
+
+from .reference import full_column
+
+
+@pytest.fixture()
+def db(tmp_path):
+    database = Database(tmp_path / "db")
+    load_tpch(database.catalog, scale=0.001, seed=5)  # 6000 lineitem rows
+    return database
+
+
+def lineitem_row(shipdate="1999-06-01", linenum=1, quantity=10, flag="A"):
+    return {
+        "shipdate": date.fromisoformat(shipdate),
+        "linenum": linenum,
+        "quantity": quantity,
+        "returnflag": flag,
+    }
+
+
+class TestInsertValidation:
+    def test_insert_counts(self, db):
+        assert db.insert("lineitem", [lineitem_row(), lineitem_row()]) == 2
+        assert db.pending("lineitem") == 2
+
+    def test_unknown_table(self, db):
+        with pytest.raises(CatalogError):
+            db.insert("ghost", [lineitem_row()])
+
+    def test_missing_column_rejected(self, db):
+        bad = lineitem_row()
+        bad.pop("quantity")
+        with pytest.raises(CatalogError):
+            db.insert("lineitem", [bad])
+
+    def test_extra_column_rejected(self, db):
+        bad = lineitem_row()
+        bad["surprise"] = 1
+        with pytest.raises(CatalogError):
+            db.insert("lineitem", [bad])
+
+    def test_dictionary_value_encoded(self, db):
+        db.insert("lineitem", [lineitem_row(flag="R")])
+        r = db.sql(
+            "SELECT returnflag, linenum FROM lineitem "
+            "WHERE shipdate > '1999-01-01'"
+        )
+        assert r.decoded_rows() == [("R", 1)]
+
+
+class TestMergeOnRead:
+    def test_selection_sees_pending_rows(self, db):
+        before = db.sql("SELECT linenum FROM lineitem WHERE linenum = 7").n_rows
+        db.insert("lineitem", [lineitem_row(linenum=7)] * 3)
+        after = db.sql("SELECT linenum FROM lineitem WHERE linenum = 7").n_rows
+        assert after == before + 3
+
+    def test_predicates_filter_pending_rows(self, db):
+        db.insert(
+            "lineitem",
+            [lineitem_row(quantity=5), lineitem_row(quantity=45)],
+        )
+        r = db.sql(
+            "SELECT quantity FROM lineitem "
+            "WHERE shipdate > '1999-01-01' AND quantity < 10"
+        )
+        assert r.rows() == [(5,)]
+
+    def test_aggregation_merges_partials(self, db):
+        lineitem = db.projection("lineitem")
+        lin = full_column(lineitem, "linenum")
+        qty = full_column(lineitem, "quantity")
+        stored_sum = int(qty[lin == 2].sum())
+        db.insert("lineitem", [lineitem_row(linenum=2, quantity=100)] * 2)
+        r = db.sql(
+            "SELECT linenum, SUM(quantity) FROM lineitem "
+            "WHERE linenum = 2 GROUP BY linenum"
+        )
+        assert r.rows() == [(2, stored_sum + 200)]
+
+    def test_avg_merges_correctly(self, db):
+        # AVG over merged data must be recomputed from merged SUM/COUNT, not
+        # averaged averages.
+        db.insert("lineitem", [lineitem_row(linenum=1, quantity=1)] * 10)
+        lineitem = db.projection("lineitem")
+        lin = full_column(lineitem, "linenum")
+        qty = full_column(lineitem, "quantity")
+        expected = (int(qty[lin == 1].sum()) + 10) // (int((lin == 1).sum()) + 10)
+        r = db.sql(
+            "SELECT linenum, AVG(quantity) FROM lineitem "
+            "WHERE linenum = 1 GROUP BY linenum"
+        )
+        assert r.rows() == [(1, expected)]
+
+    def test_new_group_appears(self, db):
+        db.insert("lineitem", [lineitem_row(shipdate="1999-12-31", linenum=3)])
+        r = db.sql(
+            "SELECT shipdate, COUNT(shipdate) FROM lineitem "
+            "WHERE shipdate > '1999-01-01' GROUP BY shipdate"
+        )
+        assert r.decoded_rows() == [(date(1999, 12, 31), 1)]
+
+    def test_order_and_limit_apply_after_merge(self, db):
+        db.insert("lineitem", [lineitem_row(quantity=999)])
+        r = db.sql(
+            "SELECT quantity FROM lineitem ORDER BY quantity DESC LIMIT 1"
+        )
+        assert r.rows() == [(999,)]
+
+    def test_join_requires_merge(self, db):
+        db.insert(
+            "orders",
+            [{"shipdate": date(1999, 1, 1), "custkey": 1}],
+        )
+        with pytest.raises(ExecutionError):
+            db.sql(
+                "SELECT o.shipdate, c.nationcode FROM orders o, customer c "
+                "WHERE o.custkey = c.custkey"
+            )
+
+
+class TestTupleMover:
+    def test_merge_moves_rows(self, db):
+        n_before = db.projection("lineitem").n_rows
+        db.insert("lineitem", [lineitem_row()] * 5)
+        assert db.merge("lineitem") == 5
+        assert db.pending("lineitem") == 0
+        assert db.projection("lineitem").n_rows == n_before + 5
+
+    def test_merge_resorts(self, db):
+        # Inserted rows land in sort position, not appended at the end.
+        db.insert("lineitem", [lineitem_row(shipdate="1992-01-02", flag="A")])
+        db.merge("lineitem")
+        lineitem = db.projection("lineitem")
+        flag = full_column(lineitem, "returnflag").astype(np.int64)
+        ship = full_column(lineitem, "shipdate").astype(np.int64)
+        key = flag * 10**6 + ship
+        assert np.all(np.diff(key) >= 0)
+
+    def test_merge_is_idempotent(self, db):
+        db.insert("lineitem", [lineitem_row()])
+        db.merge("lineitem")
+        n = db.projection("lineitem").n_rows
+        assert db.merge("lineitem") == 0
+        assert db.projection("lineitem").n_rows == n
+
+    def test_queries_after_merge(self, db):
+        db.insert("lineitem", [lineitem_row(linenum=7, quantity=50)] * 4)
+        pre_merge = db.sql(
+            "SELECT linenum, SUM(quantity) FROM lineitem "
+            "WHERE linenum = 7 GROUP BY linenum"
+        ).rows()
+        db.merge("lineitem")
+        post_merge = db.sql(
+            "SELECT linenum, SUM(quantity) FROM lineitem "
+            "WHERE linenum = 7 GROUP BY linenum"
+        ).rows()
+        assert pre_merge == post_merge
+
+    def test_merge_then_join_allowed(self, db):
+        db.insert("orders", [{"shipdate": date(1999, 1, 1), "custkey": 3}])
+        db.merge("orders")
+        r = db.sql(
+            "SELECT o.shipdate, c.nationcode FROM orders o, customer c "
+            "WHERE o.custkey = c.custkey AND o.custkey < 5"
+        )
+        assert r.n_rows > 0
+
+    def test_merge_rebuilds_index_and_histogram(self, db):
+        db.insert("lineitem", [lineitem_row()])
+        db.merge("lineitem")
+        lineitem = db.projection("lineitem")
+        assert lineitem.column("returnflag").index is not None
+        cf = lineitem.column("quantity").file()
+        assert cf.histogram is not None
+        assert cf.histogram.n_values == lineitem.n_rows

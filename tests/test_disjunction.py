@@ -1,0 +1,207 @@
+"""Tests for OR (disjunctive WHERE) support across the stack."""
+
+import numpy as np
+import pytest
+
+from repro import InPredicate, Predicate, SelectQuery
+from repro.errors import PlanError, SQLError
+from repro.sql import parse
+
+from .reference import canonical, full_column
+
+
+def reference_or(lineitem, groups, select):
+    mask = np.zeros(lineitem.n_rows, dtype=bool)
+    for group in groups:
+        group_mask = np.ones(lineitem.n_rows, dtype=bool)
+        for pred in group:
+            group_mask &= pred.mask(full_column(lineitem, pred.column))
+        mask |= group_mask
+    return np.stack(
+        [full_column(lineitem, c)[mask].astype(np.int64) for c in select],
+        axis=1,
+    )
+
+
+class TestLogicalValidation:
+    def test_predicates_and_disjuncts_exclusive(self):
+        with pytest.raises(PlanError):
+            SelectQuery(
+                projection="t",
+                select=("a",),
+                predicates=(Predicate("a", "<", 1),),
+                disjuncts=(
+                    (Predicate("a", "<", 1),),
+                    (Predicate("a", ">", 5),),
+                ),
+            )
+
+    def test_single_disjunct_rejected(self):
+        with pytest.raises(PlanError):
+            SelectQuery(
+                projection="t",
+                select=("a",),
+                disjuncts=((Predicate("a", "<", 1),),),
+            )
+
+    def test_empty_group_rejected(self):
+        with pytest.raises(PlanError):
+            SelectQuery(
+                projection="t",
+                select=("a",),
+                disjuncts=((Predicate("a", "<", 1),), ()),
+            )
+
+    def test_all_columns_includes_disjunct_columns(self):
+        q = SelectQuery(
+            projection="t",
+            select=("a",),
+            disjuncts=(
+                (Predicate("b", "<", 1),),
+                (Predicate("c", ">", 5),),
+            ),
+        )
+        assert set(q.all_columns) == {"a", "b", "c"}
+
+
+class TestExecution:
+    def test_simple_or(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        groups = (
+            (Predicate("linenum", "=", 1),),
+            (Predicate("linenum", "=", 7),),
+        )
+        query = SelectQuery(
+            projection="lineitem", select=("linenum",), disjuncts=groups
+        )
+        result = tpch_db.query(query, cold=True)
+        expected = reference_or(lineitem, groups, ["linenum"])
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+        assert result.strategy == "lm-parallel"
+
+    def test_or_of_conjunctions(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        ship = full_column(lineitem, "shipdate")
+        x_low = int(np.quantile(ship, 0.1))
+        x_high = int(np.quantile(ship, 0.9))
+        groups = (
+            (Predicate("shipdate", "<", x_low), Predicate("linenum", "<", 3)),
+            (Predicate("shipdate", ">", x_high), Predicate("quantity", ">", 40)),
+        )
+        query = SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "linenum", "quantity"),
+            disjuncts=groups,
+        )
+        result = tpch_db.query(query, cold=True)
+        expected = reference_or(
+            lineitem, groups, ["shipdate", "linenum", "quantity"]
+        )
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+    def test_overlapping_branches_no_duplicates(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        groups = (
+            (Predicate("linenum", "<", 5),),
+            (Predicate("linenum", ">", 2),),  # overlaps 3..4
+        )
+        query = SelectQuery(
+            projection="lineitem", select=("linenum",), disjuncts=groups
+        )
+        result = tpch_db.query(query, cold=True)
+        assert result.n_rows == lineitem.n_rows  # every row matches once
+
+    def test_or_with_aggregation(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        groups = (
+            (Predicate("linenum", "=", 2),),
+            (Predicate("linenum", "=", 5),),
+        )
+        query = SelectQuery(
+            projection="lineitem",
+            select=("linenum", "sum(quantity)"),
+            disjuncts=groups,
+            group_by="linenum",
+            aggregates=(__import__("repro").AggSpec("sum", "quantity"),),
+        )
+        result = tpch_db.query(query, cold=True)
+        lin = full_column(lineitem, "linenum")
+        qty = full_column(lineitem, "quantity")
+        expected = sorted(
+            (v, int(qty[lin == v].sum())) for v in (2, 5)
+        )
+        assert result.rows() == expected
+
+    def test_or_with_in_predicate(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        groups = (
+            (InPredicate("linenum", (1, 2)),),
+            (Predicate("quantity", ">", 48),),
+        )
+        query = SelectQuery(
+            projection="lineitem",
+            select=("linenum", "quantity"),
+            disjuncts=groups,
+        )
+        result = tpch_db.query(query, cold=True)
+        expected = reference_or(lineitem, groups, ["linenum", "quantity"])
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+
+class TestSQLGrammar:
+    def test_simple_or_parses(self):
+        stmt = parse("SELECT a FROM t WHERE a < 3 OR a > 9")
+        assert len(stmt.disjuncts) == 2
+        assert not stmt.comparisons
+
+    def test_and_binds_tighter_than_or(self):
+        stmt = parse("SELECT a FROM t WHERE a < 3 AND b = 1 OR c > 9")
+        assert len(stmt.disjuncts) == 2
+        assert len(stmt.disjuncts[0]) == 2  # (a<3 AND b=1)
+        assert len(stmt.disjuncts[1]) == 1  # (c>9)
+
+    def test_parentheses_override_precedence(self):
+        stmt = parse("SELECT a FROM t WHERE a < 3 AND (b = 1 OR c > 9)")
+        # DNF expansion: (a<3 AND b=1) OR (a<3 AND c>9).
+        assert len(stmt.disjuncts) == 2
+        assert all(len(group) == 2 for group in stmt.disjuncts)
+
+    def test_pure_conjunction_stays_flat(self):
+        stmt = parse("SELECT a FROM t WHERE a < 3 AND b = 1")
+        assert len(stmt.comparisons) == 2
+        assert not stmt.disjuncts
+
+    def test_join_condition_under_or_rejected(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t, u WHERE t.a = u.a OR t.b < 3")
+
+    def test_end_to_end_sql_or(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        r = tpch_db.sql(
+            "SELECT linenum, quantity FROM lineitem "
+            "WHERE linenum = 1 AND quantity < 5 OR linenum = 7 AND quantity > 45"
+        )
+        lin = full_column(lineitem, "linenum")
+        qty = full_column(lineitem, "quantity")
+        expected_n = int(
+            (((lin == 1) & (qty < 5)) | ((lin == 7) & (qty > 45))).sum()
+        )
+        assert r.n_rows == expected_n
+
+    def test_sql_or_with_order_limit(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT quantity FROM lineitem "
+            "WHERE quantity < 2 OR quantity > 49 "
+            "ORDER BY quantity DESC LIMIT 3"
+        )
+        assert all(v == 50 for (v,) in r.rows())
+        assert r.n_rows == 3
+
+    def test_between_inside_or(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT quantity FROM lineitem "
+            "WHERE quantity BETWEEN 1 AND 2 OR quantity BETWEEN 49 AND 50"
+        )
+        values = {v for (v,) in r.rows()}
+        assert values <= {1, 2, 49, 50}
+        assert r.n_rows > 0

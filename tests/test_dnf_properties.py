@@ -1,0 +1,116 @@
+"""Property-based tests for disjunctive (DNF) WHERE execution."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Predicate, SelectQuery
+
+from .reference import canonical, full_column
+
+predicate_st = st.builds(
+    Predicate,
+    st.sampled_from(["linenum", "quantity"]),
+    st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+    st.integers(-2, 55),
+)
+
+dnf_st = st.lists(
+    st.lists(predicate_st, min_size=1, max_size=2),
+    min_size=2,
+    max_size=3,
+)
+
+
+def reference_mask(lineitem, groups):
+    mask = np.zeros(lineitem.n_rows, dtype=bool)
+    for group in groups:
+        gm = np.ones(lineitem.n_rows, dtype=bool)
+        for pred in group:
+            gm &= pred.mask(full_column(lineitem, pred.column))
+        mask |= gm
+    return mask
+
+
+@given(dnf_st)
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_dnf_matches_reference_mask(tpch_db, groups):
+    lineitem = tpch_db.projection("lineitem")
+    query = SelectQuery(
+        projection="lineitem",
+        select=("linenum", "quantity"),
+        disjuncts=tuple(tuple(g) for g in groups),
+    )
+    result = tpch_db.query(query, cold=True)
+    mask = reference_mask(lineitem, groups)
+    expected = np.stack(
+        [
+            full_column(lineitem, "linenum")[mask].astype(np.int64),
+            full_column(lineitem, "quantity")[mask].astype(np.int64),
+        ],
+        axis=1,
+    )
+    assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+
+@given(dnf_st)
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_dnf_equals_sql_roundtrip(tpch_db, groups):
+    """The same DNF written as SQL must bind to an equivalent query."""
+    sql_where = " OR ".join(
+        "(" + " AND ".join(f"{p.column} {p.op} {p.value}" for p in g) + ")"
+        for g in groups
+    )
+    via_sql = tpch_db.sql(
+        f"SELECT linenum, quantity FROM lineitem WHERE {sql_where}",
+        cold=True,
+    )
+    programmatic = tpch_db.query(
+        SelectQuery(
+            projection="lineitem",
+            select=("linenum", "quantity"),
+            disjuncts=tuple(tuple(g) for g in groups),
+        ),
+        cold=True,
+    )
+    assert np.array_equal(
+        canonical(via_sql.tuples.data), canonical(programmatic.tuples.data)
+    )
+
+
+@given(st.lists(predicate_st, min_size=1, max_size=3))
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_self_union_equals_conjunction(tpch_db, preds):
+    """(A) OR (A) must return exactly the rows of conjunction A."""
+    conj = tpch_db.query(
+        SelectQuery(
+            projection="lineitem",
+            select=("linenum",),
+            predicates=tuple(preds),
+        ),
+        cold=True,
+    )
+    duplicated = tpch_db.query(
+        SelectQuery(
+            projection="lineitem",
+            select=("linenum",),
+            disjuncts=(tuple(preds), tuple(preds)),
+        ),
+        cold=True,
+    )
+    assert np.array_equal(
+        canonical(conj.tuples.data), canonical(duplicated.tuples.data)
+    )

@@ -1,0 +1,87 @@
+"""Executable-documentation tests and CLI extras."""
+
+import re
+import runpy
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import CatalogError
+
+REPO_ROOT = Path(__file__).parent.parent
+
+
+class TestReadmeQuickstart:
+    def test_readme_python_snippet_runs(self, tmp_path, monkeypatch):
+        """The README's quickstart block must execute verbatim."""
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        blocks = re.findall(r"```python\n(.*?)```", readme, flags=re.DOTALL)
+        assert blocks, "README lost its quickstart code block"
+        snippet = blocks[0].replace('"./mydb"', repr(str(tmp_path / "mydb")))
+        namespace: dict = {}
+        exec(compile(snippet, "README.md", "exec"), namespace)  # noqa: S102
+        assert namespace["result"].strategy in {
+            "em-pipelined", "em-parallel", "lm-pipelined", "lm-parallel",
+        }
+
+    def test_readme_mentions_every_example(self):
+        readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+        for example in sorted((REPO_ROOT / "examples").glob("*.py")):
+            assert example.name in readme, f"README missing {example.name}"
+
+    def test_design_doc_lists_every_bench(self):
+        design = (REPO_ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for bench in sorted((REPO_ROOT / "benchmarks").glob("bench_*.py")):
+            assert bench.name in design, f"DESIGN.md missing {bench.name}"
+
+
+class TestModuleEntryPoint:
+    # runpy warns when the module was already imported in-process; that is
+    # an artifact of testing `-m` without a subprocess, not of the package.
+    @pytest.mark.filterwarnings("ignore::RuntimeWarning")
+    def test_python_dash_m_repro(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setattr(
+            sys, "argv", ["repro", "load-tpch", str(tmp_path / "db"),
+                          "--scale", "0.001"]
+        )
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_module("repro", run_name="__main__")
+        assert excinfo.value.code == 0
+        assert "lineitem" in capsys.readouterr().out
+
+
+class TestVerboseExplain:
+    def test_breakdown_printed(self, tmp_path, capsys):
+        main(["load-tpch", str(tmp_path / "db"), "--scale", "0.001"])
+        capsys.readouterr()
+        code = main(
+            [
+                "explain",
+                str(tmp_path / "db"),
+                "SELECT shipdate, linenum FROM lineitem "
+                "WHERE shipdate < '1994-01-01' AND linenum < 7",
+                "--verbose",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SPC" in out
+        assert "DS1(" in out or "DS2(" in out
+
+
+class TestFloatRejection:
+    def test_float_columns_rejected_with_guidance(self, tmp_path):
+        from repro import Database, FLOAT64, ColumnSchema
+
+        db = Database(tmp_path / "db")
+        with pytest.raises(CatalogError, match="float64"):
+            db.catalog.create_projection(
+                "floats",
+                {"x": np.array([1.5, 2.5])},
+                schemas={"x": ColumnSchema("x", FLOAT64)},
+                sort_keys=[],
+                encodings={"x": ["uncompressed"]},
+            )

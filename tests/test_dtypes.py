@@ -1,0 +1,83 @@
+"""Unit tests for the column type system."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro.dtypes import (
+    DATE,
+    INT32,
+    INT64,
+    UINT8,
+    ColumnSchema,
+    date_to_int,
+    int_to_date,
+    type_by_name,
+)
+from repro.errors import EncodingError
+
+
+class TestColumnType:
+    def test_itemsize(self):
+        assert INT32.itemsize == 4
+        assert INT64.itemsize == 8
+        assert UINT8.itemsize == 1
+
+    def test_validate_passthrough(self):
+        arr = np.array([1, 2, 3], dtype=np.int32)
+        out = INT32.validate(arr)
+        assert out.dtype == np.dtype("<i4")
+        assert np.array_equal(out, arr)
+
+    def test_validate_lossless_cast(self):
+        arr = np.array([1, 2, 3], dtype=np.int64)
+        out = INT32.validate(arr)
+        assert out.dtype == np.dtype("<i4")
+
+    def test_validate_rejects_lossy_cast(self):
+        arr = np.array([2**40], dtype=np.int64)
+        with pytest.raises(EncodingError):
+            INT32.validate(arr)
+
+    def test_type_by_name(self):
+        assert type_by_name("int32") is INT32
+        assert type_by_name("date") is DATE
+
+    def test_type_by_name_unknown(self):
+        with pytest.raises(EncodingError):
+            type_by_name("varchar")
+
+
+class TestDates:
+    def test_roundtrip(self):
+        d = date(1994, 7, 15)
+        assert int_to_date(date_to_int(d)) == d
+
+    def test_epoch(self):
+        assert date_to_int(date(1970, 1, 1)) == 0
+
+    def test_ordering_preserved(self):
+        assert date_to_int(date(1992, 1, 2)) < date_to_int(date(1998, 12, 1))
+
+
+class TestColumnSchema:
+    def test_dictionary_roundtrip(self):
+        schema = ColumnSchema("flag", UINT8, dictionary=("A", "N", "R"))
+        assert schema.encode_value("N") == 1
+        assert schema.decode_value(2) == "R"
+
+    def test_dictionary_unknown_value(self):
+        schema = ColumnSchema("flag", UINT8, dictionary=("A", "N", "R"))
+        with pytest.raises(EncodingError):
+            schema.encode_value("X")
+
+    def test_date_schema_roundtrip(self):
+        schema = ColumnSchema("shipdate", DATE)
+        encoded = schema.encode_value(date(1995, 3, 1))
+        assert schema.decode_value(encoded) == date(1995, 3, 1)
+
+    def test_plain_numeric_passthrough(self):
+        schema = ColumnSchema("qty", INT32)
+        assert schema.encode_value(17) == 17
+        assert schema.decode_value(17) == 17

@@ -1,0 +1,169 @@
+"""Integration tests for the Database facade."""
+
+from datetime import date
+
+import numpy as np
+import pytest
+
+from repro import (
+    Database,
+    Predicate,
+    SelectQuery,
+    Strategy,
+)
+from repro.errors import PlanError
+
+from .reference import canonical, full_column, reference_select
+
+
+class TestQueryResult:
+    def test_wall_and_simulated_time_populated(self, tpch_db):
+        r = tpch_db.sql("SELECT linenum FROM lineitem WHERE linenum < 3")
+        assert r.wall_ms > 0
+        assert r.simulated_ms > 0
+        assert r.stats.tuples_output == r.n_rows
+
+    def test_decoded_rows_map_dates_and_dictionaries(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT returnflag, shipdate FROM lineitem "
+            "WHERE shipdate < '1992-06-01' AND returnflag = 'A'"
+        )
+        flag, shipdate = r.decoded_rows()[0]
+        assert flag == "A"
+        assert isinstance(shipdate, date)
+        assert shipdate < date(1992, 6, 1)
+
+    def test_rows_are_raw_ints(self, tpch_db):
+        r = tpch_db.sql("SELECT returnflag FROM lineitem WHERE returnflag = 'A'")
+        assert r.rows()[0] == (0,)
+
+
+class TestStrategySelection:
+    def test_strategy_by_name(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT linenum FROM lineitem WHERE linenum < 3",
+            strategy="lm-parallel",
+        )
+        assert r.strategy == "lm-parallel"
+
+    def test_strategy_by_enum(self, tpch_db):
+        q = SelectQuery(
+            projection="lineitem",
+            select=("linenum",),
+            predicates=(Predicate("linenum", "<", 3),),
+        )
+        r = tpch_db.query(q, strategy=Strategy.EM_PIPELINED)
+        assert r.strategy == "em-pipelined"
+
+    def test_bad_strategy_name(self, tpch_db):
+        with pytest.raises(ValueError):
+            tpch_db.sql(
+                "SELECT linenum FROM lineitem WHERE linenum < 3",
+                strategy="mystery",
+            )
+
+    def test_unknown_query_type_rejected(self, tpch_db):
+        with pytest.raises(PlanError):
+            tpch_db.query("not a query object")
+
+
+class TestCacheControl:
+    def test_cold_flag_clears_pool(self, tpch_db):
+        tpch_db.sql("SELECT linenum FROM lineitem WHERE linenum < 3")
+        warm = tpch_db.sql("SELECT linenum FROM lineitem WHERE linenum < 3")
+        assert warm.stats.buffer_hits > 0
+        cold = tpch_db.sql(
+            "SELECT linenum FROM lineitem WHERE linenum < 3", cold=True
+        )
+        assert cold.stats.buffer_hits == 0
+        assert cold.stats.block_reads > 0
+
+
+class TestExplain:
+    def test_explain_reports_all_strategies(self, tpch_db):
+        q = SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "linenum"),
+            predicates=(
+                Predicate("shipdate", "<", 9000),
+                Predicate("linenum", "<", 7),
+            ),
+        )
+        out = tpch_db.explain(q)
+        assert out["chosen"] in out["predictions"]
+        assert set(out["predictions"]) == {s.value for s in Strategy}
+        assert all(v > 0 for v in out["predictions"].values())
+
+
+class TestSQLIntegration:
+    def test_sql_equals_programmatic(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        ship = full_column(lineitem, "shipdate")
+        x = int(np.quantile(ship, 0.4))
+        expected = reference_select(
+            lineitem,
+            ["shipdate", "linenum"],
+            [Predicate("shipdate", "<", x), Predicate("linenum", "<", 7)],
+        )
+        from repro.dtypes import int_to_date
+
+        r = tpch_db.sql(
+            f"SELECT shipdate, linenum FROM lineitem "
+            f"WHERE shipdate < '{int_to_date(x).isoformat()}' AND linenum < 7"
+        )
+        assert np.array_equal(canonical(r.tuples.data), canonical(expected))
+
+    def test_sql_encoding_override(self, tpch_db):
+        a = tpch_db.sql(
+            "SELECT linenum FROM lineitem WHERE linenum < 3",
+            encodings={"linenum": "bitvector"},
+            strategy="lm-parallel",
+            cold=True,
+        )
+        b = tpch_db.sql(
+            "SELECT linenum FROM lineitem WHERE linenum < 3",
+            encodings={"linenum": "uncompressed"},
+            strategy="lm-parallel",
+            cold=True,
+        )
+        assert np.array_equal(
+            canonical(a.tuples.data), canonical(b.tuples.data)
+        )
+
+    def test_sql_join_roundtrip(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT o.shipdate, c.nationcode FROM orders o, customer c "
+            "WHERE o.custkey = c.custkey AND o.custkey < 50",
+            strategy="multi-column",
+        )
+        assert r.strategy == "multi-column"
+        assert r.n_rows > 0
+
+
+class TestMulticolumnsToggle:
+    def test_disabled_multicolumns_rereads_columns(self, tmp_path):
+        from repro import load_tpch
+
+        db = Database(tmp_path / "db", use_multicolumns=True)
+        load_tpch(db.catalog, scale=0.001, seed=3)
+        q = SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "linenum"),
+            predicates=(
+                Predicate("shipdate", "<", 9500),
+                Predicate("linenum", "<", 7),
+            ),
+        )
+        with_mc = db.query(q, strategy=Strategy.LM_PARALLEL, cold=True)
+        db.use_multicolumns = False
+        without_mc = db.query(q, strategy=Strategy.LM_PARALLEL, cold=True)
+        # Without pinned mini-columns the final extraction goes back to the
+        # pool: strictly more pool traffic, same answer.
+        with_traffic = with_mc.stats.block_reads + with_mc.stats.buffer_hits
+        without_traffic = (
+            without_mc.stats.block_reads + without_mc.stats.buffer_hits
+        )
+        assert without_traffic > with_traffic
+        assert np.array_equal(
+            canonical(with_mc.tuples.data), canonical(without_mc.tuples.data)
+        )

@@ -1,0 +1,106 @@
+"""Tests for the header-only estimators (selectivity, fractions, fragments)."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INT32
+from repro.predicates import InPredicate, Predicate
+from repro.planner.estimate import (
+    estimate_block_fragments,
+    estimate_read_fraction,
+    estimate_selectivity,
+)
+from repro.storage import encoding_by_name, write_column
+
+
+@pytest.fixture
+def sorted_column(tmp_path):
+    values = np.repeat(np.arange(100, dtype=np.int32), 2000)  # 200k rows
+    return write_column(
+        tmp_path / "s.col", values, INT32, encoding_by_name("uncompressed")
+    ), values
+
+
+@pytest.fixture
+def random_column(tmp_path):
+    rng = np.random.default_rng(1)
+    values = rng.integers(0, 100, size=200_000).astype(np.int32)
+    return write_column(
+        tmp_path / "r.col", values, INT32, encoding_by_name("uncompressed")
+    ), values
+
+
+class TestSelectivity:
+    @pytest.mark.parametrize("cut", [0, 25, 50, 75, 100])
+    def test_sorted_column_accurate(self, sorted_column, cut):
+        cf, values = sorted_column
+        est = estimate_selectivity(cf, Predicate("s", "<", cut))
+        actual = float((values < cut).mean())
+        assert est == pytest.approx(actual, abs=0.05)
+
+    def test_random_column_reasonable(self, random_column):
+        cf, values = random_column
+        est = estimate_selectivity(cf, Predicate("r", "<", 30))
+        assert est == pytest.approx(0.30, abs=0.05)
+
+    def test_in_predicate(self, random_column):
+        cf, values = random_column
+        est = estimate_selectivity(cf, InPredicate("r", (3, 17, 42)))
+        actual = float(np.isin(values, [3, 17, 42]).mean())
+        assert est == pytest.approx(actual, abs=0.05)
+
+    def test_empty_column(self, tmp_path):
+        cf = write_column(
+            tmp_path / "e.col",
+            np.empty(0, dtype=np.int32),
+            INT32,
+            encoding_by_name("uncompressed"),
+        )
+        assert estimate_selectivity(cf, Predicate("e", "<", 5)) == 0.0
+
+
+class TestReadFraction:
+    def test_sorted_column_prunes(self, sorted_column):
+        cf, _values = sorted_column
+        # Values < 10 live in the first ~10% of a sorted column.
+        fraction = estimate_read_fraction(cf, Predicate("s", "<", 10))
+        assert fraction < 0.2
+
+    def test_random_column_cannot_prune(self, random_column):
+        cf, _values = random_column
+        fraction = estimate_read_fraction(cf, Predicate("r", "<", 10))
+        assert fraction == 1.0
+
+    def test_impossible_predicate(self, sorted_column):
+        cf, _values = sorted_column
+        assert estimate_read_fraction(cf, Predicate("s", ">", 10_000)) == 0.0
+
+
+class TestBlockFragments:
+    def test_prefix_predicate_is_one_fragment(self, sorted_column):
+        cf, _values = sorted_column
+        assert estimate_block_fragments(cf, Predicate("s", "<", 30)) == 1
+
+    def test_equality_on_sorted_is_one_fragment(self, sorted_column):
+        cf, _values = sorted_column
+        assert estimate_block_fragments(cf, Predicate("s", "=", 50)) == 1
+
+    def test_random_column_is_one_big_fragment(self, random_column):
+        cf, _values = random_column
+        # Every block overlaps, so they form one contiguous overlap group.
+        assert estimate_block_fragments(cf, Predicate("r", "<", 50)) == 1
+
+    def test_multi_slab_column(self, tmp_path):
+        # Three sorted slabs (like shipdate inside returnflag groups): a
+        # range predicate overlaps a slab prefix in each -> 3 fragments.
+        slab = np.repeat(np.arange(50, dtype=np.int32), 1500)
+        values = np.concatenate([slab, slab, slab])
+        cf = write_column(
+            tmp_path / "m.col", values, INT32, encoding_by_name("uncompressed")
+        )
+        fragments = estimate_block_fragments(cf, Predicate("m", "<", 10))
+        assert fragments == 3
+
+    def test_minimum_is_one(self, sorted_column):
+        cf, _values = sorted_column
+        assert estimate_block_fragments(cf, Predicate("s", ">", 10_000)) == 1

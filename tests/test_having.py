@@ -1,0 +1,144 @@
+"""Tests for the HAVING clause."""
+
+import numpy as np
+import pytest
+
+from repro import AggSpec, Predicate, SelectQuery, Strategy
+from repro.errors import PlanError, SQLError
+
+from .reference import full_column
+
+
+def expected_group_sums(tpch_db, minimum):
+    lineitem = tpch_db.projection("lineitem")
+    lin = full_column(lineitem, "linenum")
+    qty = full_column(lineitem, "quantity")
+    out = {}
+    for v in np.unique(lin):
+        total = int(qty[lin == v].sum())
+        if total > minimum:
+            out[int(v)] = total
+    return out
+
+
+class TestValidation:
+    def test_requires_aggregation(self):
+        with pytest.raises(PlanError):
+            SelectQuery(
+                projection="t",
+                select=("a",),
+                having=(Predicate("a", ">", 1),),
+            )
+
+    def test_column_must_be_selected(self):
+        with pytest.raises(PlanError):
+            SelectQuery(
+                projection="t",
+                select=("g", "sum(v)"),
+                group_by="g",
+                aggregates=(AggSpec("sum", "v"),),
+                having=(Predicate("max(v)", ">", 1),),
+            )
+
+
+class TestExecution:
+    @pytest.mark.parametrize("strategy", list(Strategy), ids=lambda s: s.value)
+    def test_filters_groups(self, tpch_db, strategy):
+        minimum = 30_000
+        query = SelectQuery(
+            projection="lineitem",
+            select=("linenum", "sum(quantity)"),
+            group_by="linenum",
+            aggregates=(AggSpec("sum", "quantity"),),
+            having=(Predicate("sum(quantity)", ">", minimum),),
+        )
+        result = tpch_db.query(query, strategy=strategy, cold=True)
+        expected = expected_group_sums(tpch_db, minimum)
+        assert {int(g): int(s) for g, s in result.rows()} == expected
+
+    def test_having_on_group_column(self, tpch_db):
+        query = SelectQuery(
+            projection="lineitem",
+            select=("linenum", "count(linenum)"),
+            group_by="linenum",
+            aggregates=(AggSpec("count", "linenum"),),
+            having=(Predicate("linenum", ">=", 6),),
+        )
+        result = tpch_db.query(query, cold=True)
+        assert {int(g) for g, _c in result.rows()} == {6, 7}
+
+    def test_having_before_order_and_limit(self, tpch_db):
+        query = SelectQuery(
+            projection="lineitem",
+            select=("linenum", "sum(quantity)"),
+            group_by="linenum",
+            aggregates=(AggSpec("sum", "quantity"),),
+            having=(Predicate("linenum", "<", 6),),
+            order_by=(("sum(quantity)", True),),
+            limit=2,
+        )
+        result = tpch_db.query(query, cold=True)
+        assert result.n_rows == 2
+        sums = [s for _g, s in result.rows()]
+        assert sums == sorted(sums, reverse=True)
+        assert all(g < 6 for g, _s in result.rows())
+
+    def test_having_with_pending_inserts(self, tmp_path):
+        """HAVING applies to merged aggregates, not stored-side partials."""
+        from repro import Database, load_tpch
+        from datetime import date
+
+        db = Database(tmp_path / "db")
+        load_tpch(db.catalog, scale=0.001, seed=11)
+        base = db.sql(
+            "SELECT linenum, SUM(quantity) FROM lineitem GROUP BY linenum"
+        ).rows()
+        target_sum = dict(base)[7]
+        threshold = target_sum + 50
+        # Without inserts, group 7 fails the HAVING threshold...
+        before = db.sql(
+            "SELECT linenum, SUM(quantity) FROM lineitem GROUP BY linenum "
+            f"HAVING SUM(quantity) > {threshold} AND linenum = 7"
+        )
+        assert before.n_rows == 0
+        # ...pending rows push it over only if HAVING runs after the merge.
+        db.insert(
+            "lineitem",
+            [
+                {
+                    "shipdate": date(1999, 1, 1),
+                    "linenum": 7,
+                    "quantity": 100,
+                    "returnflag": "N",
+                }
+            ],
+        )
+        after = db.sql(
+            "SELECT linenum, SUM(quantity) FROM lineitem GROUP BY linenum "
+            f"HAVING SUM(quantity) > {threshold} AND linenum = 7"
+        )
+        assert after.rows() == [(7, target_sum + 100)]
+
+
+class TestSQL:
+    def test_having_aggregate_function(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT linenum, SUM(quantity) FROM lineitem GROUP BY linenum "
+            "HAVING SUM(quantity) > 30000"
+        )
+        expected = expected_group_sums(tpch_db, 30_000)
+        assert {int(g): int(s) for g, s in r.rows()} == expected
+
+    def test_having_requires_selected_item(self, tpch_db):
+        with pytest.raises(SQLError):
+            tpch_db.sql(
+                "SELECT linenum, COUNT(linenum) FROM lineitem "
+                "GROUP BY linenum HAVING SUM(quantity) > 5"
+            )
+
+    def test_having_rejects_string_literal(self, tpch_db):
+        with pytest.raises(SQLError):
+            tpch_db.sql(
+                "SELECT linenum, COUNT(linenum) FROM lineitem "
+                "GROUP BY linenum HAVING linenum > 'two'"
+            )

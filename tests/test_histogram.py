@@ -1,0 +1,155 @@
+"""Tests for per-column histograms and their effect on estimation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import INT32
+from repro.planner.estimate import estimate_selectivity
+from repro.predicates import InPredicate, Predicate
+from repro.storage import ColumnFile, encoding_by_name, write_column
+from repro.storage.stats import ColumnHistogram
+
+
+class TestHistogramBuild:
+    def test_basic_shape(self):
+        values = np.arange(1000, dtype=np.int64)
+        h = ColumnHistogram.build(values, bins=10)
+        assert h.n_values == 1000
+        assert h.n_distinct == 1000
+        # Uniform data has no heavy hitters; all mass lives in the bins.
+        assert h.common == ()
+        assert sum(h.counts) == 1000
+        assert h.edges[0] == 0.0 and h.edges[-1] == 999.0
+
+    def test_empty(self):
+        h = ColumnHistogram.build(np.empty(0, dtype=np.int64))
+        assert h.n_values == 0
+        assert h.estimate(Predicate("c", "<", 5)) == 0.0
+
+    def test_constant_column(self):
+        h = ColumnHistogram.build(np.full(100, 7, dtype=np.int64))
+        # A single repeated value is a heavy hitter with exact count.
+        assert h.common == ((7.0, 100),)
+        assert h.estimate(Predicate("c", "=", 7)) == pytest.approx(1.0)
+        assert h.estimate(Predicate("c", "<", 7)) == 0.0
+        assert h.estimate(Predicate("c", ">", 7)) == 0.0
+
+    def test_heavy_hitters_exact(self):
+        values = np.concatenate(
+            [np.full(9000, 42), np.arange(1000)]
+        ).astype(np.int64)
+        h = ColumnHistogram.build(values, bins=16)
+        assert (42.0, 9042 - 42) not in h.common  # sanity: counts are exact
+        hot = dict(h.common)
+        assert hot[42.0] == 9001  # 9000 + one from arange
+        assert h.estimate(Predicate("c", "=", 42)) == pytest.approx(
+            9001 / 10_000
+        )
+
+    def test_json_roundtrip(self):
+        h = ColumnHistogram.build(
+            np.concatenate(
+                [np.full(500, 3), np.arange(500)]
+            ).astype(np.int64),
+            bins=8,
+        )
+        h2 = ColumnHistogram.from_json(h.to_json())
+        assert h2 == h
+
+
+class TestHistogramEstimates:
+    @pytest.fixture(scope="class")
+    def skewed(self):
+        # 90% of mass at tiny values, long thin tail: the case block min/max
+        # interpolation gets badly wrong.
+        rng = np.random.default_rng(9)
+        small = rng.integers(0, 10, size=90_000)
+        tail = rng.integers(10, 100_000, size=10_000)
+        return np.concatenate((small, tail)).astype(np.int64)
+
+    @pytest.mark.parametrize("op", ["<", "<=", ">", ">=", "=", "!="])
+    def test_within_10_points_on_skew(self, skewed, op):
+        h = ColumnHistogram.build(skewed, bins=128)
+        for boundary in (5, 10, 1000, 50_000):
+            pred = Predicate("c", op, boundary)
+            actual = float(pred.mask(skewed).mean())
+            assert h.estimate(pred) == pytest.approx(actual, abs=0.10), (
+                op,
+                boundary,
+            )
+
+    def test_in_predicate(self, skewed):
+        h = ColumnHistogram.build(skewed, bins=128)
+        pred = InPredicate("c", (1, 5, 70_000))
+        actual = float(pred.mask(skewed).mean())
+        assert h.estimate(pred) == pytest.approx(actual, abs=0.10)
+
+    def test_histogram_beats_block_interpolation_on_skew(self, skewed, tmp_path):
+        cf = write_column(
+            tmp_path / "skew.col",
+            skewed.astype(np.int64),
+            __import__("repro.dtypes", fromlist=["INT64"]).INT64,
+            encoding_by_name("uncompressed"),
+        )
+        pred = Predicate("skew", "<", 1000)
+        actual = float(pred.mask(skewed).mean())  # ~0.9+
+        with_hist = estimate_selectivity(cf, pred)
+        # Disable the histogram to get the block-interpolation fallback.
+        object.__setattr__(cf, "histogram", None)
+        without = estimate_selectivity(cf, pred)
+        assert abs(with_hist - actual) < abs(without - actual)
+        assert abs(with_hist - actual) < 0.05
+
+    @given(
+        st.lists(st.integers(-1000, 1000), min_size=1, max_size=400),
+        st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+        st.integers(-1100, 1100),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_estimates_always_valid_probability(self, xs, op, boundary):
+        h = ColumnHistogram.build(np.array(xs, dtype=np.int64), bins=16)
+        est = h.estimate(Predicate("c", op, boundary))
+        assert 0.0 <= est <= 1.0
+
+    @given(st.lists(st.integers(0, 50), min_size=10, max_size=400))
+    @settings(max_examples=100, deadline=None)
+    def test_range_estimate_bounded_error(self, xs):
+        """With one bin per distinct value, range estimates are near-exact."""
+        values = np.array(xs, dtype=np.int64)
+        h = ColumnHistogram.build(values, bins=64)
+        pred = Predicate("c", "<", 25)
+        actual = float(pred.mask(values).mean())
+        assert h.estimate(pred) == pytest.approx(actual, abs=0.15)
+
+
+class TestPersistence:
+    def test_histogram_survives_reopen(self, tmp_path):
+        values = np.arange(10_000, dtype=np.int32)
+        write_column(
+            tmp_path / "c.col", values, INT32, encoding_by_name("rle")
+        )
+        cf = ColumnFile.open(tmp_path / "c.col")
+        assert cf.histogram is not None
+        assert cf.histogram.n_values == 10_000
+        assert cf.histogram.n_distinct == 10_000
+
+    def test_legacy_header_without_histogram(self, tmp_path):
+        import json
+
+        values = np.arange(1000, dtype=np.int32)
+        path = tmp_path / "c.col"
+        write_column(path, values, INT32, encoding_by_name("uncompressed"))
+        data = path.read_bytes()
+        header_len = int.from_bytes(data[8:12], "little")
+        header = json.loads(data[12 : 12 + header_len].decode())
+        header.pop("histogram")
+        new_header = json.dumps(header).encode()
+        padded = new_header + b" " * (header_len - len(new_header))
+        path.write_bytes(data[:12] + padded + data[12 + header_len :])
+        cf = ColumnFile.open(path)
+        assert cf.histogram is None
+        # Estimation falls back to block interpolation and still works.
+        est = estimate_selectivity(cf, Predicate("c", "<", 500))
+        assert est == pytest.approx(0.5, abs=0.05)

@@ -1,0 +1,119 @@
+"""Tests for IN-list predicates across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import InPredicate, Predicate, SelectQuery, Strategy
+from repro.errors import PlanError, SQLError, UnsupportedOperationError
+
+from .reference import canonical, full_column
+
+
+class TestInPredicateUnit:
+    def test_mask(self):
+        pred = InPredicate("c", (1, 3, 5))
+        values = np.array([0, 1, 2, 3, 4, 5])
+        assert pred.mask(values).tolist() == [
+            False, True, False, True, False, True,
+        ]
+
+    def test_values_deduped_and_sorted(self):
+        assert InPredicate("c", (5, 1, 5, 3)).in_values == (1, 3, 5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(PlanError):
+            InPredicate("c", ())
+
+    def test_matches_value(self):
+        pred = InPredicate("c", (2, 4))
+        assert pred.matches_value(2)
+        assert not pred.matches_value(3)
+
+    def test_overlaps_range(self):
+        pred = InPredicate("c", (10, 20))
+        assert pred.overlaps_range(5, 12)
+        assert not pred.overlaps_range(11, 19)
+
+    def test_contains_range(self):
+        pred = InPredicate("c", (3, 4, 5))
+        assert pred.contains_range(3, 5)
+        assert not pred.contains_range(3, 6)
+        assert pred.contains_range(4, 4)
+
+
+class TestInThroughStrategies:
+    @pytest.mark.parametrize("encoding", ["uncompressed", "rle", "bitvector"])
+    @pytest.mark.parametrize("strategy", list(Strategy), ids=lambda s: s.value)
+    def test_all_strategies(self, tpch_db, encoding, strategy):
+        lineitem = tpch_db.projection("lineitem")
+        lin = full_column(lineitem, "linenum")
+        query = SelectQuery(
+            projection="lineitem",
+            select=("linenum",),
+            predicates=(InPredicate("linenum", (1, 3, 6)),),
+            encodings=(("linenum", encoding),),
+        )
+        try:
+            result = tpch_db.query(query, strategy=strategy, cold=True)
+        except UnsupportedOperationError:
+            pytest.skip("bit-vector position filtering")
+        mask = np.isin(lin, [1, 3, 6])
+        assert result.n_rows == int(mask.sum())
+        expected = lin[mask].astype(np.int64).reshape(-1, 1)
+        assert np.array_equal(
+            canonical(result.tuples.data), canonical(expected)
+        )
+
+    def test_mixed_with_comparison(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        ship = full_column(lineitem, "shipdate")
+        lin = full_column(lineitem, "linenum")
+        x = int(np.quantile(ship, 0.5))
+        query = SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "linenum"),
+            predicates=(
+                Predicate("shipdate", "<", x),
+                InPredicate("linenum", (2, 5)),
+            ),
+        )
+        result = tpch_db.query(query, strategy="lm-parallel", cold=True)
+        mask = (ship < x) & np.isin(lin, [2, 5])
+        assert result.n_rows == int(mask.sum())
+
+    def test_index_resolves_in_on_sorted_column(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        flag = full_column(lineitem, "returnflag")
+        query = SelectQuery(
+            projection="lineitem",
+            select=("returnflag",),
+            predicates=(InPredicate("returnflag", (0, 2)),),
+        )
+        result = tpch_db.query(query, strategy="lm-parallel", cold=True)
+        assert result.stats.extra.get("index_lookups") == 1
+        assert result.n_rows == int(np.isin(flag, [0, 2]).sum())
+
+
+class TestInThroughSQL:
+    def test_numeric_in(self, tpch_db):
+        r = tpch_db.sql("SELECT linenum FROM lineitem WHERE linenum IN (1, 7)")
+        lin = full_column(tpch_db.projection("lineitem"), "linenum")
+        assert r.n_rows == int(np.isin(lin, [1, 7]).sum())
+
+    def test_dictionary_string_in(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT returnflag FROM lineitem WHERE returnflag IN ('A', 'R')"
+        )
+        flag = full_column(tpch_db.projection("lineitem"), "returnflag")
+        assert r.n_rows == int(np.isin(flag, [0, 2]).sum())
+        assert {row[0] for row in r.decoded_rows()} == {"A", "R"}
+
+    def test_mixed_literal_kinds_rejected(self, tpch_db):
+        with pytest.raises(SQLError):
+            tpch_db.sql(
+                "SELECT linenum FROM lineitem WHERE linenum IN (1, 'two')"
+            )
+
+    def test_empty_in_list_rejected(self, tpch_db):
+        with pytest.raises(SQLError):
+            tpch_db.sql("SELECT linenum FROM lineitem WHERE linenum IN ()")

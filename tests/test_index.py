@@ -1,0 +1,155 @@
+"""Tests for the clustered index and its DS1 fast path."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Predicate, SelectQuery, Strategy
+from repro.dtypes import INT32, ColumnSchema
+from repro.errors import StorageError
+from repro.storage.index import ClusteredIndex
+
+from .reference import canonical, full_column, reference_select
+
+SORTED = np.repeat(np.array([2, 5, 5, 9, 12]), [3, 1, 0, 4, 2])  # 2,2,2,5,9*4,12,12
+
+
+class TestClusteredIndex:
+    def test_build_requires_sorted(self):
+        with pytest.raises(StorageError):
+            ClusteredIndex.build(np.array([3, 1, 2]))
+
+    def test_distinct_values_and_firsts(self):
+        idx = ClusteredIndex.build(SORTED)
+        assert idx.values.tolist() == [2, 5, 9, 12]
+        assert idx.first_positions.tolist() == [0, 3, 4, 8]
+        assert idx.n_rows == 10
+
+    @pytest.mark.parametrize(
+        "op,value",
+        [(op, v) for op in ("<", "<=", ">", ">=", "=") for v in
+         (-1, 2, 3, 5, 9, 11, 12, 99)],
+    )
+    def test_lookup_matches_scan(self, op, value):
+        idx = ClusteredIndex.build(SORTED)
+        pred = Predicate("c", op, value)
+        hit = idx.lookup(pred)
+        expected = np.nonzero(pred.mask(SORTED))[0]
+        assert hit is not None
+        assert np.array_equal(hit.to_array(), expected), (op, value)
+
+    def test_not_equal_unsupported(self):
+        idx = ClusteredIndex.build(SORTED)
+        assert idx.lookup(Predicate("c", "!=", 5)) is None
+
+    def test_lookup_range(self):
+        idx = ClusteredIndex.build(SORTED)
+        hit = idx.lookup_range(5, 9)
+        assert hit.to_array().tolist() == [3, 4, 5, 6, 7]
+
+    def test_save_load_roundtrip(self, tmp_path):
+        idx = ClusteredIndex.build(SORTED)
+        idx.save(tmp_path / "c.idx")
+        loaded = ClusteredIndex.load(tmp_path / "c.idx")
+        assert np.array_equal(loaded.values, idx.values)
+        assert np.array_equal(loaded.first_positions, idx.first_positions)
+        assert loaded.n_rows == idx.n_rows
+
+    def test_bad_magic(self, tmp_path):
+        (tmp_path / "bogus.idx").write_bytes(b"NOTANIDX")
+        with pytest.raises(StorageError):
+            ClusteredIndex.load(tmp_path / "bogus.idx")
+
+    def test_empty_column(self):
+        idx = ClusteredIndex.build(np.empty(0, dtype=np.int64))
+        hit = idx.lookup(Predicate("c", "<", 5))
+        assert hit.is_empty()
+
+
+@pytest.fixture()
+def indexed_db(tmp_path):
+    rng = np.random.default_rng(77)
+    n = 40_000
+    a = np.sort(rng.integers(0, 300, size=n)).astype(np.int32)
+    b = rng.integers(0, 10, size=n).astype(np.int32)
+    db = Database(tmp_path / "db")
+    db.catalog.create_projection(
+        "t",
+        {"a": a, "b": b},
+        schemas={"a": ColumnSchema("a", INT32), "b": ColumnSchema("b", INT32)},
+        sort_keys=["a"],
+        encodings={"a": ["rle", "uncompressed"], "b": ["uncompressed"]},
+        presorted=True,
+    )
+    return db, a, b
+
+
+class TestIndexFastPath:
+    def test_projection_builds_index_for_primary_sort_key(self, indexed_db):
+        db, _a, _b = indexed_db
+        proj = db.projection("t")
+        assert proj.column("a").index is not None
+        assert proj.column("b").index is None
+
+    def test_index_survives_reopen(self, indexed_db, tmp_path):
+        db, a, _b = indexed_db
+        reopened = Database(tmp_path / "db")
+        idx = reopened.projection("t").column("a").index
+        assert idx is not None
+        assert idx.n_rows == len(a)
+
+    def test_lm_uses_index_and_skips_scan(self, indexed_db):
+        db, a, b = indexed_db
+        query = SelectQuery(
+            projection="t",
+            select=("a", "b"),
+            predicates=(Predicate("a", "<", 60),),
+        )
+        r = db.query(query, strategy=Strategy.LM_PARALLEL, cold=True)
+        assert r.stats.extra.get("index_lookups") == 1
+        expected = reference_select(db.projection("t"), ["a", "b"],
+                                    list(query.predicates))
+        assert np.array_equal(canonical(r.tuples.data), canonical(expected))
+        # Only blocks needed for value extraction were read, and the 'a'
+        # column scan itself never happened.
+        db.use_indexes = False
+        r2 = db.query(query, strategy=Strategy.LM_PARALLEL, cold=True)
+        db.use_indexes = True
+        assert r2.stats.extra.get("index_lookups") is None
+        assert r.stats.values_scanned < r2.stats.values_scanned
+
+    def test_index_disabled_gives_same_answer(self, indexed_db):
+        db, _a, _b = indexed_db
+        query = SelectQuery(
+            projection="t",
+            select=("a",),
+            predicates=(Predicate("a", ">=", 150), Predicate("a", "<", 200)),
+        )
+        with_idx = db.query(query, strategy=Strategy.LM_PIPELINED, cold=True)
+        db.use_indexes = False
+        without = db.query(query, strategy=Strategy.LM_PIPELINED, cold=True)
+        db.use_indexes = True
+        assert np.array_equal(
+            canonical(with_idx.tuples.data), canonical(without.tuples.data)
+        )
+
+    def test_conjunction_intersects_index_ranges(self, indexed_db):
+        db, a, _b = indexed_db
+        query = SelectQuery(
+            projection="t",
+            select=("a",),
+            predicates=(Predicate("a", ">=", 100), Predicate("a", "<=", 120)),
+        )
+        r = db.query(query, strategy=Strategy.LM_PARALLEL, cold=True)
+        assert r.stats.extra.get("index_lookups") == 1
+        assert r.n_rows == int(((a >= 100) & (a <= 120)).sum())
+
+    def test_unresolvable_predicate_falls_back_to_scan(self, indexed_db):
+        db, a, _b = indexed_db
+        query = SelectQuery(
+            projection="t",
+            select=("a",),
+            predicates=(Predicate("a", "!=", 100),),
+        )
+        r = db.query(query, strategy=Strategy.LM_PARALLEL, cold=True)
+        assert r.stats.extra.get("index_lookups") is None
+        assert r.n_rows == int((a != 100).sum())

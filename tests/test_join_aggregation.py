@@ -1,0 +1,154 @@
+"""Tests for aggregation over join results."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AggSpec,
+    JoinQuery,
+    Predicate,
+    RightTableStrategy,
+)
+from repro.errors import PlanError, SQLError
+
+from .reference import full_column
+
+
+def reference_nation_counts(tpch_db, x):
+    orders = tpch_db.projection("orders")
+    customer = tpch_db.projection("customer")
+    custkey = full_column(orders, "custkey")
+    nation = full_column(customer, "nationcode")
+    keys = custkey[custkey < x]
+    joined_nation = nation[keys - 1]
+    out = {}
+    for v in np.unique(joined_nation):
+        out[int(v)] = int((joined_nation == v).sum())
+    return out
+
+
+def agg_join(x, left_strategy="late"):
+    return JoinQuery(
+        left="orders",
+        right="customer",
+        left_key="custkey",
+        right_key="custkey",
+        left_select=("shipdate",),
+        right_select=("nationcode",),
+        left_predicates=(Predicate("custkey", "<", x),),
+        left_strategy=left_strategy,
+        group_by="nationcode",
+        aggregates=(AggSpec("count", "nationcode"),),
+    )
+
+
+class TestValidation:
+    def test_group_by_must_be_selected(self):
+        with pytest.raises(PlanError):
+            JoinQuery(
+                left="a",
+                right="b",
+                left_key="k",
+                right_key="k",
+                left_select=("x",),
+                right_select=("y",),
+                group_by="z",
+                aggregates=(AggSpec("count", "x"),),
+            )
+
+    def test_aggregate_input_must_be_selected(self):
+        with pytest.raises(PlanError):
+            JoinQuery(
+                left="a",
+                right="b",
+                left_key="k",
+                right_key="k",
+                left_select=("x",),
+                right_select=("y",),
+                group_by="x",
+                aggregates=(AggSpec("sum", "z"),),
+            )
+
+
+class TestExecution:
+    @pytest.mark.parametrize(
+        "strategy", list(RightTableStrategy), ids=lambda s: s.value
+    )
+    @pytest.mark.parametrize("left", ["late", "early"])
+    def test_counts_match_reference(self, tpch_db, strategy, left):
+        keys = full_column(tpch_db.projection("orders"), "custkey")
+        x = int(np.quantile(keys, 0.5))
+        result = tpch_db.query(agg_join(x, left), strategy=strategy, cold=True)
+        expected = reference_nation_counts(tpch_db, x)
+        assert {int(g): int(c) for g, c in result.rows()} == expected
+
+    def test_group_by_left_side_column(self, tpch_db):
+        orders = tpch_db.projection("orders")
+        keys = full_column(orders, "custkey")
+        ship = full_column(orders, "shipdate")
+        x = int(np.quantile(keys, 0.3))
+        query = JoinQuery(
+            left="orders",
+            right="customer",
+            left_key="custkey",
+            right_key="custkey",
+            left_select=("shipdate",),
+            right_select=("nationcode",),
+            left_predicates=(Predicate("custkey", "<", x),),
+            group_by="shipdate",
+            aggregates=(AggSpec("max", "nationcode"),),
+        )
+        result = tpch_db.query(query, cold=True)
+        assert result.n_rows == len(np.unique(ship[keys < x]))
+
+    def test_only_summary_tuples_constructed(self, tpch_db):
+        keys = full_column(tpch_db.projection("orders"), "custkey")
+        x = int(np.quantile(keys, 0.9))
+        agg = tpch_db.query(agg_join(x), strategy="materialized", cold=True)
+        # Construction count: the probe's matched right rows plus the summary
+        # tuples — but no final per-row join tuples.
+        plain = tpch_db.query(
+            JoinQuery(
+                left="orders",
+                right="customer",
+                left_key="custkey",
+                right_key="custkey",
+                left_select=("shipdate",),
+                right_select=("nationcode",),
+                left_predicates=(Predicate("custkey", "<", x),),
+            ),
+            strategy="materialized",
+            cold=True,
+        )
+        assert agg.stats.tuples_constructed < plain.stats.tuples_constructed
+
+
+class TestSQL:
+    def test_sql_join_aggregation(self, tpch_db):
+        keys = full_column(tpch_db.projection("orders"), "custkey")
+        x = int(np.quantile(keys, 0.5))
+        r = tpch_db.sql(
+            "SELECT c.nationcode, COUNT(c.nationcode) "
+            "FROM orders o, customer c "
+            f"WHERE o.custkey = c.custkey AND o.custkey < {x} "
+            "GROUP BY c.nationcode"
+        )
+        expected = reference_nation_counts(tpch_db, x)
+        assert {int(g): int(c) for g, c in r.rows()} == expected
+
+    def test_stray_column_rejected(self, tpch_db):
+        with pytest.raises(SQLError):
+            tpch_db.sql(
+                "SELECT o.shipdate, COUNT(c.nationcode) "
+                "FROM orders o, customer c "
+                "WHERE o.custkey = c.custkey GROUP BY c.nationcode"
+            )
+
+    def test_having_on_join_rejected(self, tpch_db):
+        with pytest.raises(SQLError):
+            tpch_db.sql(
+                "SELECT c.nationcode, COUNT(c.nationcode) "
+                "FROM orders o, customer c "
+                "WHERE o.custkey = c.custkey GROUP BY c.nationcode "
+                "HAVING COUNT(c.nationcode) > 5"
+            )

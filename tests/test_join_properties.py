@@ -1,0 +1,148 @@
+"""Property-based tests: every join strategy combination equals a naive join."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Database,
+    JoinQuery,
+    Predicate,
+    RightTableStrategy,
+)
+from repro.dtypes import INT32, INT64, ColumnSchema
+
+
+@pytest.fixture(scope="module")
+def join_db(tmp_path_factory):
+    """A small FK-PK pair with deterministic contents."""
+    rng = np.random.default_rng(123)
+    n_right = 400
+    n_left = 5_000
+    db = Database(tmp_path_factory.mktemp("join_prop"))
+    db.catalog.create_projection(
+        "fact",
+        {
+            "ts": np.sort(rng.integers(0, 1000, size=n_left)).astype(np.int64),
+            "key": rng.integers(1, n_right + 1, size=n_left),
+            "measure": rng.integers(0, 100, size=n_left).astype(np.int32),
+        },
+        schemas={
+            "ts": ColumnSchema("ts", INT64),
+            "key": ColumnSchema("key", INT64),
+            "measure": ColumnSchema("measure", INT32),
+        },
+        sort_keys=["ts"],
+        encodings={
+            "ts": ["rle"],
+            "key": ["uncompressed"],
+            "measure": ["uncompressed"],
+        },
+        presorted=True,
+    )
+    db.catalog.create_projection(
+        "dim",
+        {
+            "key": np.arange(1, n_right + 1, dtype=np.int64),
+            "attr": rng.integers(0, 25, size=n_right).astype(np.int32),
+        },
+        schemas={
+            "key": ColumnSchema("key", INT64),
+            "attr": ColumnSchema("attr", INT32),
+        },
+        sort_keys=["key"],
+        encodings={"key": ["uncompressed"], "attr": ["uncompressed"]},
+        presorted=True,
+    )
+    from .reference import full_column
+
+    fact = {
+        c: full_column(db.projection("fact"), c)
+        for c in ("ts", "key", "measure")
+    }
+    dim_attr = full_column(db.projection("dim"), "attr")
+    return db, fact, dim_attr
+
+
+def naive_join(fact, dim_attr, predicates):
+    mask = np.ones(len(fact["key"]), dtype=bool)
+    for col, op, value in predicates:
+        import operator
+
+        ops = {"<": operator.lt, ">": operator.gt, "=": operator.eq}
+        mask &= ops[op](fact[col], value)
+    keys = fact["key"][mask]
+    return np.stack(
+        [
+            fact["ts"][mask].astype(np.int64),
+            fact["measure"][mask].astype(np.int64),
+            dim_attr[keys - 1].astype(np.int64),
+        ],
+        axis=1,
+    )
+
+
+join_predicates = st.lists(
+    st.tuples(
+        st.sampled_from(["ts", "key", "measure"]),
+        st.sampled_from(["<", ">", "="]),
+        st.integers(0, 1000),
+    ),
+    min_size=0,
+    max_size=2,
+).filter(lambda preds: len({c for c, _o, _v in preds}) == len(preds))
+
+
+@given(
+    join_predicates,
+    st.sampled_from(list(RightTableStrategy)),
+    st.sampled_from(["early", "late"]),
+)
+@settings(
+    max_examples=80,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_join_matches_naive(join_db, predicates, right_strategy, left_strategy):
+    db, fact, dim_attr = join_db
+    query = JoinQuery(
+        left="fact",
+        right="dim",
+        left_key="key",
+        right_key="key",
+        left_select=("ts", "measure"),
+        right_select=("attr",),
+        left_predicates=tuple(
+            Predicate(col, op, value) for col, op, value in predicates
+        ),
+        left_strategy=left_strategy,
+    )
+    result = db.query(query, strategy=right_strategy, cold=True)
+    expected = naive_join(fact, dim_attr, predicates)
+    assert np.array_equal(result.tuples.data, expected)
+
+
+@given(st.integers(0, 1001))
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_join_strategies_agree_pairwise(join_db, boundary):
+    db, _fact, _dim = join_db
+    query = JoinQuery(
+        left="fact",
+        right="dim",
+        left_key="key",
+        right_key="key",
+        left_select=("ts",),
+        right_select=("attr",),
+        left_predicates=(Predicate("ts", "<", boundary),),
+    )
+    results = [
+        db.query(query, strategy=s, cold=True).tuples.data
+        for s in RightTableStrategy
+    ]
+    assert np.array_equal(results[0], results[1])
+    assert np.array_equal(results[0], results[2])

@@ -1,0 +1,50 @@
+"""Unit tests for query statistics counters."""
+
+from repro.metrics import QueryStats
+
+
+class TestQueryStats:
+    def test_starts_at_zero(self):
+        stats = QueryStats()
+        assert stats.block_reads == 0
+        assert stats.simulated_io_us == 0.0
+        assert stats.extra == {}
+
+    def test_merge_adds_counters(self):
+        a = QueryStats(block_reads=2, tuples_constructed=10)
+        b = QueryStats(block_reads=3, function_calls=7)
+        b.extra["probe"] = 4
+        a.merge(b)
+        assert a.block_reads == 5
+        assert a.tuples_constructed == 10
+        assert a.function_calls == 7
+        assert a.extra["probe"] == 4
+
+    def test_merge_extra_accumulates(self):
+        a = QueryStats()
+        a.extra["x"] = 1
+        b = QueryStats()
+        b.extra["x"] = 2
+        a.merge(b)
+        assert a.extra["x"] == 3
+
+    def test_reset(self):
+        stats = QueryStats(block_reads=5, simulated_io_us=12.5)
+        stats.extra["y"] = 1
+        stats.reset()
+        assert stats.block_reads == 0
+        assert stats.simulated_io_us == 0.0
+        assert stats.extra == {}
+
+    def test_as_dict_includes_extra(self):
+        stats = QueryStats(disk_seeks=1)
+        stats.extra["join_matches"] = 9
+        d = stats.as_dict()
+        assert d["disk_seeks"] == 1
+        assert d["join_matches"] == 9
+
+    def test_str_only_nonzero(self):
+        stats = QueryStats(block_reads=2)
+        text = str(stats)
+        assert "block_reads=2" in text
+        assert "disk_seeks" not in text

@@ -1,0 +1,87 @@
+"""Property-based tests for mini-column extraction and multi-column AND."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.dtypes import INT32
+from repro.multicolumn import MiniColumn, MultiColumn
+from repro.positions import BitmapPositions, ListedPositions, RangePositions
+from repro.storage import encoding_by_name, write_column
+
+N_ROWS = 60_000
+
+
+@pytest.fixture(scope="module", params=["uncompressed", "rle", "dictionary"])
+def pinned(request, tmp_path_factory):
+    rng = np.random.default_rng(13)
+    values = np.sort(rng.integers(0, 200, size=N_ROWS)).astype(np.int32)
+    path = tmp_path_factory.mktemp("mc") / f"{request.param}.col"
+    cf = write_column(
+        path, values, INT32, encoding_by_name(request.param), column_name="x"
+    )
+    mini = MiniColumn(cf)
+    for desc in cf.descriptors:
+        mini.pin(desc, cf.read_payload(desc.index))
+    return values, mini
+
+
+@given(
+    st.lists(st.integers(0, N_ROWS - 1), min_size=1, max_size=200, unique=True)
+)
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_minicolumn_gather_matches_indexing(pinned, picks):
+    values, mini = pinned
+    positions = np.array(sorted(picks), dtype=np.int64)
+    assert np.array_equal(mini.gather(positions), values[positions])
+
+
+@st.composite
+def descriptors(draw):
+    kind = draw(st.sampled_from(["range", "listed", "bitmap"]))
+    if kind == "range":
+        a = draw(st.integers(0, 500))
+        b = draw(st.integers(0, 500))
+        return RangePositions(min(a, b), max(a, b))
+    members = draw(
+        st.lists(st.integers(0, 499), max_size=40, unique=True)
+    )
+    if kind == "listed":
+        return ListedPositions(np.array(sorted(members), dtype=np.int64))
+    mask = np.zeros(500, dtype=bool)
+    for m in members:
+        mask[m] = True
+    return BitmapPositions.from_mask(0, mask)
+
+
+@given(descriptors(), descriptors())
+@settings(max_examples=120, deadline=None)
+def test_multicolumn_and_matches_set_intersection(d1, d2):
+    left = MultiColumn(0, 500, d1)
+    right = MultiColumn(0, 500, d2)
+    merged = left.intersect(right)
+    expected = set(d1.to_array().tolist()) & set(d2.to_array().tolist())
+    assert set(merged.descriptor.to_array().tolist()) == expected
+    assert merged.valid_count() == len(expected)
+
+
+@given(descriptors(), descriptors())
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_multicolumn_and_unions_minicolumn_arrays(pinned, d1, d2):
+    _values, mini = pinned
+    left = MultiColumn(0, 500, d1, {"x": mini})
+    right = MultiColumn(0, 500, d2, {})
+    merged = left.intersect(right)
+    # Mini-column pointers survive the AND regardless of which side held them.
+    assert merged.minicolumn("x") is mini
+    merged_rev = right.intersect(left)
+    assert merged_rev.minicolumn("x") is mini

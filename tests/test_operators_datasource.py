@@ -1,0 +1,217 @@
+"""Unit tests for the DS1-DS4 and SPC data-source operators."""
+
+import numpy as np
+import pytest
+
+from repro.buffer import BufferPool
+from repro.dtypes import INT32
+from repro.errors import UnsupportedOperationError
+from repro.metrics import QueryStats
+from repro.operators import (
+    DS1Scan,
+    DS2Scan,
+    DS3Gather,
+    DS4Scan,
+    ExecutionContext,
+    SPCScan,
+    gather_values,
+)
+from repro.positions import ListedPositions, RangePositions
+from repro.predicates import Predicate
+from repro.storage import encoding_by_name, write_column
+
+
+@pytest.fixture
+def ctx():
+    return ExecutionContext(pool=BufferPool(), stats=QueryStats())
+
+
+@pytest.fixture
+def columns(tmp_path):
+    """Two 80k-row columns: 'a' sorted+RLE, 'b' uncompressed values 0..9."""
+    rng = np.random.default_rng(41)
+    a = np.sort(rng.integers(0, 50, size=80_000)).astype(np.int32)
+    b = rng.integers(0, 10, size=80_000).astype(np.int32)
+    cf_a = write_column(
+        tmp_path / "a.col", a, INT32, encoding_by_name("rle"), column_name="a"
+    )
+    cf_b = write_column(
+        tmp_path / "b.col",
+        b,
+        INT32,
+        encoding_by_name("uncompressed"),
+        column_name="b",
+    )
+    return a, b, cf_a, cf_b
+
+
+class TestDS1:
+    def test_positions_match_reference(self, ctx, columns):
+        a, _b, cf_a, _cf_b = columns
+        res = DS1Scan(ctx, cf_a, Predicate("a", "<", 25)).execute()
+        assert np.array_equal(res.positions.to_array(), np.nonzero(a < 25)[0])
+
+    def test_minicolumn_pinned(self, ctx, columns):
+        _a, _b, cf_a, _cf_b = columns
+        res = DS1Scan(ctx, cf_a, Predicate("a", "<", 25)).execute()
+        assert res.minicolumn is not None
+        assert res.minicolumn.block_count() > 0
+
+    def test_multicolumns_disabled(self, columns):
+        _a, _b, cf_a, _cf_b = columns
+        ctx = ExecutionContext(pool=BufferPool(), use_multicolumns=False)
+        res = DS1Scan(ctx, cf_a, Predicate("a", "<", 25)).execute()
+        assert res.minicolumn is None
+
+    def test_block_skipping_on_sorted_column(self, ctx, columns):
+        a, _b, cf_a, _cf_b = columns
+        # An impossible predicate: every block skipped, nothing read.
+        res = DS1Scan(ctx, cf_a, Predicate("a", ">", 10_000)).execute()
+        assert res.positions.is_empty()
+        assert ctx.stats.blocks_skipped == cf_a.n_blocks
+        assert ctx.stats.block_reads == 0
+
+    def test_uncompressed_scan(self, ctx, columns):
+        _a, b, _cf_a, cf_b = columns
+        res = DS1Scan(ctx, cf_b, Predicate("b", "=", 4)).execute()
+        assert np.array_equal(res.positions.to_array(), np.nonzero(b == 4)[0])
+        assert ctx.stats.values_scanned == len(b)
+
+
+class TestDS2:
+    def test_pairs_match_reference(self, ctx, columns):
+        a, _b, cf_a, _cf_b = columns
+        tuples = DS2Scan(ctx, cf_a, Predicate("a", "<", 10)).execute()
+        expected_pos = np.nonzero(a < 10)[0]
+        assert np.array_equal(tuples.positions, expected_pos)
+        assert np.array_equal(tuples.column("a"), a[expected_pos])
+
+    def test_none_predicate_returns_everything(self, ctx, columns):
+        _a, b, _cf_a, cf_b = columns
+        tuples = DS2Scan(ctx, cf_b, None).execute()
+        assert tuples.n_tuples == len(b)
+
+    def test_counts_tuple_iterations(self, ctx, columns):
+        a, _b, cf_a, _cf_b = columns
+        DS2Scan(ctx, cf_a, Predicate("a", "<", 10)).execute()
+        assert ctx.stats.tuple_iterations >= int((a < 10).sum())
+        assert ctx.stats.tuples_constructed == int((a < 10).sum())
+
+
+class TestDS3:
+    def test_gather_matches_reference(self, ctx, columns):
+        _a, b, _cf_a, cf_b = columns
+        picks = ListedPositions(np.array([5, 77, 30_000, 79_999]))
+        res = DS3Gather(ctx, cf_b, picks).execute()
+        assert np.array_equal(res.values, b[picks.to_array()])
+
+    def test_gather_skips_uncovered_blocks(self, ctx, columns):
+        _a, b, _cf_a, cf_b = columns
+        picks = RangePositions(0, 10)  # everything in block 0
+        DS3Gather(ctx, cf_b, picks).execute()
+        assert ctx.stats.block_reads == 1
+        assert ctx.stats.blocks_skipped == 0  # early-exit before later blocks
+
+    def test_gather_with_predicate_filters(self, ctx, columns):
+        _a, b, _cf_a, cf_b = columns
+        picks = RangePositions(0, 1000)
+        res = DS3Gather(
+            ctx, cf_b, picks, predicate=Predicate("b", "<", 5)
+        ).execute()
+        expected = np.nonzero(b[:1000] < 5)[0]
+        assert np.array_equal(res.positions.to_array(), expected)
+        assert np.array_equal(res.values, b[expected])
+
+    def test_gather_via_minicolumn_avoids_pool(self, ctx, columns):
+        a, _b, cf_a, _cf_b = columns
+        scan = DS1Scan(ctx, cf_a, Predicate("a", "<", 25)).execute()
+        reads_before = ctx.stats.block_reads + ctx.stats.buffer_hits
+        res = DS3Gather(
+            ctx, cf_a, scan.positions, minicolumn=scan.minicolumn
+        ).execute()
+        assert ctx.stats.block_reads + ctx.stats.buffer_hits == reads_before
+        assert np.array_equal(res.values, a[scan.positions.to_array()])
+
+    def test_bitvector_position_filtering_rejected(self, ctx, tmp_path):
+        values = np.zeros(100, dtype=np.int32)
+        cf = write_column(
+            tmp_path / "bv.col", values, INT32, encoding_by_name("bitvector")
+        )
+        with pytest.raises(UnsupportedOperationError):
+            DS3Gather(
+                ctx, cf, RangePositions(0, 10), predicate=Predicate("v", "<", 1)
+            )
+
+    def test_bitvector_plain_gather_allowed(self, ctx, tmp_path):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 5, size=1000).astype(np.int32)
+        cf = write_column(
+            tmp_path / "bv.col", values, INT32, encoding_by_name("bitvector")
+        )
+        res = DS3Gather(ctx, cf, ListedPositions(np.array([3, 500, 999]))).execute()
+        assert np.array_equal(res.values, values[[3, 500, 999]])
+
+
+class TestGatherValues:
+    def test_unsorted_positions(self, ctx, columns):
+        _a, b, _cf_a, cf_b = columns
+        picks = np.array([79_999, 3, 40_000, 7], dtype=np.int64)
+        got = gather_values(ctx, cf_b, picks)
+        assert np.array_equal(got, b[picks])
+        assert ctx.stats.extra["out_of_order_gathers"] == len(picks)
+
+    def test_sorted_positions_no_penalty(self, ctx, columns):
+        _a, b, _cf_a, cf_b = columns
+        picks = np.array([3, 7, 40_000], dtype=np.int64)
+        gather_values(ctx, cf_b, picks)
+        assert "out_of_order_gathers" not in ctx.stats.extra
+
+    def test_empty_positions(self, ctx, columns):
+        _a, _b, _cf_a, cf_b = columns
+        got = gather_values(ctx, cf_b, np.empty(0, dtype=np.int64))
+        assert len(got) == 0
+
+
+class TestDS4:
+    def test_extends_and_filters(self, ctx, columns):
+        a, b, cf_a, cf_b = columns
+        seed = DS2Scan(ctx, cf_a, Predicate("a", "<", 10)).execute()
+        out = DS4Scan(ctx, cf_b, Predicate("b", "<", 5), seed).execute()
+        mask = (a < 10) & (b < 5)
+        expected_pos = np.nonzero(mask)[0]
+        assert np.array_equal(out.positions, expected_pos)
+        assert np.array_equal(out.column("a"), a[mask])
+        assert np.array_equal(out.column("b"), b[mask])
+
+    def test_extend_without_predicate(self, ctx, columns):
+        a, b, cf_a, cf_b = columns
+        seed = DS2Scan(ctx, cf_a, Predicate("a", "<", 5)).execute()
+        out = DS4Scan(ctx, cf_b, None, seed).execute()
+        assert out.n_tuples == seed.n_tuples
+        assert np.array_equal(out.column("b"), b[a < 5])
+
+
+class TestSPC:
+    def test_constructs_filtered_tuples(self, ctx, columns):
+        a, b, cf_a, cf_b = columns
+        out = SPCScan(
+            ctx,
+            {"a": cf_a, "b": cf_b},
+            [Predicate("a", "<", 10), Predicate("b", "<", 5)],
+        ).execute()
+        mask = (a < 10) & (b < 5)
+        assert np.array_equal(out.column("a"), a[mask])
+        assert np.array_equal(out.column("b"), b[mask])
+
+    def test_reads_every_block_of_every_column(self, ctx, columns):
+        _a, _b, cf_a, cf_b = columns
+        SPCScan(ctx, {"a": cf_a, "b": cf_b}, [Predicate("a", ">", 10_000)]).execute()
+        assert ctx.stats.block_reads == cf_a.n_blocks + cf_b.n_blocks
+        assert ctx.stats.blocks_skipped == 0
+
+    def test_with_positions(self, ctx, columns):
+        a, _b, cf_a, cf_b = columns
+        out = SPCScan(
+            ctx, {"a": cf_a}, [Predicate("a", "<", 3)], with_positions=True
+        ).execute()
+        assert np.array_equal(out.positions, np.nonzero(a < 3)[0])

@@ -1,0 +1,143 @@
+"""Unit tests for join operators and inner-table strategies."""
+
+import numpy as np
+import pytest
+
+from repro.buffer import BufferPool
+from repro.dtypes import INT32, INT64
+from repro.metrics import QueryStats
+from repro.multicolumn import MiniColumn, MultiColumn
+from repro.operators import ExecutionContext, TupleSet
+from repro.operators.joins import (
+    fetch_right_columns,
+    hash_join_tuples,
+    join_materialized,
+    join_multicolumn,
+    join_single_column,
+    merge_fetch_left,
+)
+from repro.errors import ExecutionError
+from repro.positions import RangePositions
+from repro.storage import encoding_by_name, write_column
+
+
+@pytest.fixture
+def ctx():
+    return ExecutionContext(pool=BufferPool(), stats=QueryStats())
+
+
+@pytest.fixture
+def right_table(tmp_path):
+    """A 3000-row PK table: key = 1..3000, payload = key * 2."""
+    n = 3000
+    key = np.arange(1, n + 1, dtype=np.int64)
+    payload = (key * 2).astype(np.int32)
+    cf_key = write_column(
+        tmp_path / "rk.col", key, INT64, encoding_by_name("uncompressed"),
+        column_name="rkey",
+    )
+    cf_payload = write_column(
+        tmp_path / "rp.col", payload, INT32, encoding_by_name("uncompressed"),
+        column_name="rval",
+    )
+    return key, payload, cf_key, cf_payload
+
+
+LEFT_KEYS = np.array([42, 7, 2999, 7, 100], dtype=np.int64)
+LEFT_POSITIONS = np.array([3, 10, 55, 70, 90], dtype=np.int64)
+
+
+class TestSingleColumnJoin:
+    def test_positions_pairing(self, ctx, right_table):
+        key, _payload, _cf_key, _cf_payload = right_table
+        out = join_single_column(ctx, LEFT_KEYS, LEFT_POSITIONS, key)
+        assert out.n_matches == 5
+        assert out.left_positions.tolist() == LEFT_POSITIONS.tolist()
+        assert key[out.right_positions].tolist() == LEFT_KEYS.tolist()
+
+    def test_unmatched_left_rows_dropped(self, ctx, right_table):
+        key, _payload, _cf_key, _cf_payload = right_table
+        probe = np.array([1, 99_999, 5], dtype=np.int64)
+        pos = np.array([0, 1, 2], dtype=np.int64)
+        out = join_single_column(ctx, probe, pos, key)
+        assert out.left_positions.tolist() == [0, 2]
+        assert key[out.right_positions].tolist() == [1, 5]
+
+    def test_fetch_right_columns_out_of_order(self, ctx, right_table):
+        key, payload, _cf_key, cf_payload = right_table
+        join = join_single_column(ctx, LEFT_KEYS, LEFT_POSITIONS, key)
+        values = fetch_right_columns(ctx, join, {"rval": cf_payload}, ["rval"])
+        assert values["rval"].tolist() == (LEFT_KEYS * 2).tolist()
+        # Unordered right positions trigger the out-of-order gather penalty.
+        assert ctx.stats.extra.get("out_of_order_gathers", 0) > 0
+
+
+class TestMaterializedJoin:
+    def test_right_rows_follow_left_order(self, ctx, right_table):
+        key, payload, _cf_key, _cf_payload = right_table
+        right_tuples = TupleSet.stitch({"rkey": key, "rval": payload})
+        out_pos, matched = join_materialized(
+            ctx, LEFT_KEYS, LEFT_POSITIONS, right_tuples, "rkey"
+        )
+        assert out_pos.tolist() == LEFT_POSITIONS.tolist()
+        assert matched.column("rval").tolist() == (LEFT_KEYS * 2).tolist()
+
+    def test_counts_constructed_tuples(self, ctx, right_table):
+        key, payload, _cf_key, _cf_payload = right_table
+        right_tuples = TupleSet.stitch({"rkey": key, "rval": payload})
+        before = ctx.stats.tuples_constructed
+        join_materialized(ctx, LEFT_KEYS, LEFT_POSITIONS, right_tuples, "rkey")
+        assert ctx.stats.tuples_constructed == before + len(LEFT_KEYS)
+
+
+class TestMultiColumnJoin:
+    def test_extracts_matching_values_only(self, ctx, right_table):
+        key, payload, cf_key, cf_payload = right_table
+        mc = MultiColumn(0, len(key), RangePositions(0, len(key)))
+        for cf in (cf_key, cf_payload):
+            mini = MiniColumn(cf)
+            for desc in cf.descriptors:
+                mini.pin(desc, cf.read_payload(desc.index))
+            mc.attach(mini)
+        out_pos, extracted = join_multicolumn(
+            ctx,
+            LEFT_KEYS,
+            LEFT_POSITIONS,
+            mc,
+            {"rkey": cf_key, "rval": cf_payload},
+            "rkey",
+            ["rval"],
+        )
+        assert out_pos.tolist() == LEFT_POSITIONS.tolist()
+        assert extracted["rval"].tolist() == (LEFT_KEYS * 2).tolist()
+
+
+class TestHashJoinTuples:
+    def test_fully_materialized_join(self, ctx, right_table):
+        key, payload, _cf_key, _cf_payload = right_table
+        left = TupleSet.stitch(
+            {"lkey": LEFT_KEYS, "lval": np.arange(5, dtype=np.int64)}
+        )
+        right = TupleSet.stitch({"lkey_r": key, "rval": payload})
+        out = hash_join_tuples(ctx, left, right, "lkey", "lkey_r")
+        assert out.columns == ("lkey", "lval", "rval")
+        assert out.column("rval").tolist() == (LEFT_KEYS * 2).tolist()
+
+
+class TestMergeFetchLeft:
+    def test_requires_sorted_positions(self, ctx, right_table):
+        _key, _payload, cf_key, _cf_payload = right_table
+        with pytest.raises(ExecutionError):
+            merge_fetch_left(
+                ctx,
+                np.array([5, 1], dtype=np.int64),
+                {"rkey": cf_key},
+                ["rkey"],
+            )
+
+    def test_fetches_in_order(self, ctx, right_table):
+        key, _payload, cf_key, _cf_payload = right_table
+        got = merge_fetch_left(
+            ctx, np.array([0, 2, 4], dtype=np.int64), {"rkey": cf_key}, ["rkey"]
+        )
+        assert got["rkey"].tolist() == [1, 3, 5]

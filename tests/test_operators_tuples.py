@@ -1,0 +1,92 @@
+"""Unit tests for the row-major TupleSet."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExecutionError
+from repro.metrics import QueryStats
+from repro.operators.tuples import POSITION_COLUMN, TupleSet
+
+
+def make_tuples():
+    return TupleSet.stitch(
+        {
+            POSITION_COLUMN: np.array([0, 1, 2, 3]),
+            "a": np.array([10, 20, 30, 40]),
+            "b": np.array([1, 2, 3, 4]),
+        }
+    )
+
+
+class TestStitch:
+    def test_shape_and_row_major(self):
+        ts = make_tuples()
+        assert ts.n_tuples == 4
+        assert ts.data.shape == (4, 3)
+        assert ts.data.flags["C_CONTIGUOUS"]
+
+    def test_counts_constructions(self):
+        stats = QueryStats()
+        TupleSet.stitch({"a": np.arange(7)}, stats=stats)
+        assert stats.tuples_constructed == 7
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ExecutionError):
+            TupleSet.stitch({"a": np.arange(3), "b": np.arange(4)})
+
+    def test_shape_validation(self):
+        with pytest.raises(ExecutionError):
+            TupleSet(columns=("a", "b"), data=np.zeros((3, 3), dtype=np.int64))
+
+
+class TestAccess:
+    def test_column_view(self):
+        ts = make_tuples()
+        assert ts.column("a").tolist() == [10, 20, 30, 40]
+        assert ts.positions.tolist() == [0, 1, 2, 3]
+
+    def test_unknown_column(self):
+        with pytest.raises(ExecutionError):
+            make_tuples().column("zzz")
+
+    def test_rows(self):
+        assert make_tuples().rows()[0] == (0, 10, 1)
+
+
+class TestTransforms:
+    def test_filter(self):
+        ts = make_tuples().filter(np.array([True, False, True, False]))
+        assert ts.n_tuples == 2
+        assert ts.column("a").tolist() == [10, 30]
+
+    def test_extend(self):
+        stats = QueryStats()
+        ts = make_tuples().extend("c", np.array([7, 8, 9, 10]), stats=stats)
+        assert ts.columns[-1] == "c"
+        assert ts.column("c").tolist() == [7, 8, 9, 10]
+        assert stats.tuples_constructed == 4
+
+    def test_without(self):
+        ts = make_tuples().without(POSITION_COLUMN)
+        assert POSITION_COLUMN not in ts.columns
+        assert ts.data.shape == (4, 2)
+
+    def test_select_reorders(self):
+        ts = make_tuples().select(["b", "a"])
+        assert ts.columns == ("b", "a")
+        assert ts.rows()[0] == (1, 10)
+
+    def test_concat(self):
+        a = make_tuples()
+        b = make_tuples()
+        out = TupleSet.concat([a, b])
+        assert out.n_tuples == 8
+
+    def test_concat_mismatch_rejected(self):
+        with pytest.raises(ExecutionError):
+            TupleSet.concat([make_tuples(), make_tuples().without("a")])
+
+    def test_empty(self):
+        ts = TupleSet.empty(("a", "b"))
+        assert ts.n_tuples == 0
+        assert ts.columns == ("a", "b")

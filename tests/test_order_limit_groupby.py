@@ -1,0 +1,138 @@
+"""Tests for ORDER BY, LIMIT, and compound GROUP BY."""
+
+import numpy as np
+import pytest
+
+from repro import AggSpec, Predicate, SelectQuery, Strategy
+from repro.errors import PlanError, SQLError
+
+from .reference import full_column
+
+
+class TestOrderBy:
+    def test_single_key_ascending(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT quantity FROM lineitem WHERE linenum = 1 ORDER BY quantity"
+        )
+        values = r.tuples.column("quantity")
+        assert np.all(np.diff(values) >= 0)
+
+    def test_single_key_descending(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT quantity FROM lineitem WHERE linenum = 1 "
+            "ORDER BY quantity DESC"
+        )
+        values = r.tuples.column("quantity")
+        assert np.all(np.diff(values) <= 0)
+
+    def test_compound_keys(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT linenum, quantity FROM lineitem WHERE quantity < 5 "
+            "ORDER BY linenum ASC, quantity DESC"
+        )
+        rows = r.tuples.data
+        keys = rows[:, 0] * 1000 - rows[:, 1]
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_ordering_preserves_row_multiset(self, tpch_db):
+        plain = tpch_db.sql("SELECT quantity FROM lineitem WHERE linenum = 2")
+        ordered = tpch_db.sql(
+            "SELECT quantity FROM lineitem WHERE linenum = 2 ORDER BY quantity"
+        )
+        assert np.array_equal(
+            np.sort(plain.tuples.column("quantity")),
+            ordered.tuples.column("quantity"),
+        )
+
+    def test_order_by_requires_selected_column(self, tpch_db):
+        with pytest.raises(SQLError):
+            tpch_db.sql("SELECT linenum FROM lineitem ORDER BY quantity")
+
+    def test_programmatic_validation(self):
+        with pytest.raises(PlanError):
+            SelectQuery(
+                projection="t",
+                select=("a",),
+                order_by=(("b", False),),
+            )
+
+
+class TestLimit:
+    def test_limit_truncates(self, tpch_db):
+        r = tpch_db.sql("SELECT linenum FROM lineitem LIMIT 10")
+        assert r.n_rows == 10
+
+    def test_limit_zero(self, tpch_db):
+        r = tpch_db.sql("SELECT linenum FROM lineitem LIMIT 0")
+        assert r.n_rows == 0
+
+    def test_limit_larger_than_result(self, tpch_db):
+        small = tpch_db.sql(
+            "SELECT linenum FROM lineitem WHERE linenum = 7 LIMIT 1000000"
+        )
+        lin = full_column(tpch_db.projection("lineitem"), "linenum")
+        assert small.n_rows == int((lin == 7).sum())
+
+    def test_order_by_applies_before_limit(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT quantity FROM lineitem ORDER BY quantity DESC LIMIT 5"
+        )
+        qty = full_column(tpch_db.projection("lineitem"), "quantity")
+        top = np.sort(qty)[-5:][::-1]
+        assert r.tuples.column("quantity").tolist() == top.tolist()
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(PlanError):
+            SelectQuery(projection="t", select=("a",), limit=-1)
+
+
+class TestCompoundGroupBy:
+    def reference(self, tpch_db, predicates):
+        li = tpch_db.projection("lineitem")
+        flag = full_column(li, "returnflag").astype(np.int64)
+        lin = full_column(li, "linenum").astype(np.int64)
+        qty = full_column(li, "quantity").astype(np.int64)
+        mask = np.ones(len(flag), dtype=bool)
+        for pred in predicates:
+            mask &= pred.mask(full_column(li, pred.column))
+        keys = np.stack([flag[mask], lin[mask]], axis=1)
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        sums = np.bincount(inverse, weights=qty[mask]).astype(np.int64)
+        return np.column_stack([uniq, sums])
+
+    @pytest.mark.parametrize("strategy", list(Strategy), ids=lambda s: s.value)
+    def test_two_group_columns(self, tpch_db, strategy):
+        predicates = (Predicate("quantity", "<", 40),)
+        query = SelectQuery(
+            projection="lineitem",
+            select=("returnflag", "linenum", "sum(quantity)"),
+            predicates=predicates,
+            group_by=("returnflag", "linenum"),
+            aggregates=(AggSpec("sum", "quantity"),),
+        )
+        result = tpch_db.query(query, strategy=strategy, cold=True)
+        expected = self.reference(tpch_db, predicates)
+        got = result.tuples.data
+        got = got[np.lexsort((got[:, 1], got[:, 0]))]
+        assert np.array_equal(got, expected)
+
+    def test_through_sql(self, tpch_db):
+        r = tpch_db.sql(
+            "SELECT returnflag, linenum, SUM(quantity) FROM lineitem "
+            "GROUP BY returnflag, linenum ORDER BY returnflag, linenum"
+        )
+        expected = self.reference(tpch_db, ())
+        assert np.array_equal(r.tuples.data, expected)
+        # 3 flags x 7 linenums
+        assert r.n_rows == 21
+
+    def test_single_column_group_still_tuple(self, tpch_db):
+        query = SelectQuery(
+            projection="lineitem",
+            select=("returnflag", "count(returnflag)"),
+            group_by="returnflag",
+            aggregates=(AggSpec("count", "returnflag"),),
+        )
+        assert query.group_by == ("returnflag",)
+        r = tpch_db.query(query, strategy="lm-parallel")
+        assert r.n_rows == 3

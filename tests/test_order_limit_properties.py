@@ -1,0 +1,87 @@
+"""Property-based tests for ORDER BY / LIMIT semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Predicate, SelectQuery
+
+from .reference import full_column
+
+
+order_specs = st.lists(
+    st.tuples(
+        st.sampled_from(["linenum", "quantity"]), st.booleans()
+    ),
+    min_size=1,
+    max_size=2,
+    unique_by=lambda spec: spec[0],
+)
+
+
+@given(order_specs, st.one_of(st.none(), st.integers(0, 200)))
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_order_and_limit_match_python_sort(tpch_db, specs, limit):
+    query = SelectQuery(
+        projection="lineitem",
+        select=("linenum", "quantity"),
+        predicates=(Predicate("quantity", "<", 20),),
+        order_by=tuple(specs),
+        limit=limit,
+    )
+    result = tpch_db.query(query, cold=True)
+
+    lineitem = tpch_db.projection("lineitem")
+    lin = full_column(lineitem, "linenum")
+    qty = full_column(lineitem, "quantity")
+    mask = qty < 20
+    rows = list(zip(lin[mask].tolist(), qty[mask].tolist()))
+    col_index = {"linenum": 0, "quantity": 1}
+    for col, descending in reversed(specs):
+        rows.sort(key=lambda r: r[col_index[col]], reverse=descending)
+    if limit is not None:
+        rows = rows[:limit]
+
+    got = [tuple(r) for r in result.tuples.data.tolist()]
+    # Sort keys must match element-wise; ties may order differently, so
+    # compare the key projection exactly and the full multiset loosely.
+    got_keys = [
+        tuple(r[col_index[c]] for c, _d in specs) for r in got
+    ]
+    want_keys = [
+        tuple(r[col_index[c]] for c, _d in specs) for r in rows
+    ]
+    assert got_keys == want_keys
+    assert sorted(got) == sorted(rows)
+
+
+@given(st.integers(0, 500))
+@settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_limit_is_prefix_of_unlimited(tpch_db, limit):
+    base = SelectQuery(
+        projection="lineitem",
+        select=("quantity",),
+        order_by=(("quantity", True),),
+    )
+    unlimited = tpch_db.query(base, cold=True)
+    limited = tpch_db.query(
+        SelectQuery(
+            projection="lineitem",
+            select=("quantity",),
+            order_by=(("quantity", True),),
+            limit=limit,
+        ),
+        cold=True,
+    )
+    assert np.array_equal(
+        limited.tuples.data, unlimited.tuples.data[:limit]
+    )

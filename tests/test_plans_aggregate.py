@@ -1,0 +1,126 @@
+"""Integration tests: aggregation plans across strategies and encodings."""
+
+import numpy as np
+import pytest
+
+from repro import AggSpec, Predicate, SelectQuery, Strategy
+from repro.errors import UnsupportedOperationError
+
+from .reference import canonical, full_column, reference_group_sum
+
+ALL_STRATEGIES = list(Strategy)
+
+
+def agg_query(x, y, encoding="uncompressed"):
+    return SelectQuery(
+        projection="lineitem",
+        select=("shipdate", "sum(linenum)"),
+        predicates=(
+            Predicate("shipdate", "<", x),
+            Predicate("linenum", "<", y),
+        ),
+        group_by="shipdate",
+        aggregates=(AggSpec("sum", "linenum"),),
+        encodings=(("linenum", encoding),),
+    )
+
+
+class TestAggregationEquivalence:
+    @pytest.mark.parametrize("encoding", ["uncompressed", "rle", "bitvector"])
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("quantile", [0.1, 0.8])
+    def test_group_sum_matches_reference(
+        self, tpch_db, encoding, strategy, quantile
+    ):
+        lineitem = tpch_db.projection("lineitem")
+        ship = full_column(lineitem, "shipdate")
+        x = int(np.quantile(ship, quantile))
+        query = agg_query(x, 7, encoding)
+        expected = reference_group_sum(
+            lineitem, "shipdate", "linenum", list(query.predicates)
+        )
+        try:
+            result = tpch_db.query(query, strategy=strategy, cold=True)
+        except UnsupportedOperationError:
+            assert strategy is Strategy.LM_PIPELINED and encoding == "bitvector"
+            return
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_group_by_returnflag(self, tpch_db, strategy):
+        lineitem = tpch_db.projection("lineitem")
+        query = SelectQuery(
+            projection="lineitem",
+            select=("returnflag", "sum(quantity)"),
+            predicates=(Predicate("linenum", "<", 4),),
+            group_by="returnflag",
+            aggregates=(AggSpec("sum", "quantity"),),
+        )
+        expected = reference_group_sum(
+            lineitem, "returnflag", "quantity", list(query.predicates)
+        )
+        result = tpch_db.query(query, strategy=strategy, cold=True)
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_multiple_aggregates(self, tpch_db, strategy):
+        lineitem = tpch_db.projection("lineitem")
+        ship = full_column(lineitem, "shipdate")
+        lin = full_column(lineitem, "linenum")
+        qty = full_column(lineitem, "quantity")
+        x = int(np.quantile(ship, 0.3))
+        mask = ship < x
+        uq, inv = np.unique(ship[mask], return_inverse=True)
+        expected = np.stack(
+            [
+                uq.astype(np.int64),
+                np.bincount(inv, weights=lin[mask]).astype(np.int64),
+                np.bincount(inv).astype(np.int64),
+                np.bincount(inv, weights=qty[mask]).astype(np.int64),
+            ],
+            axis=1,
+        )
+        query = SelectQuery(
+            projection="lineitem",
+            select=(
+                "shipdate",
+                "sum(linenum)",
+                "count(linenum)",
+                "sum(quantity)",
+            ),
+            predicates=(Predicate("shipdate", "<", x),),
+            group_by="shipdate",
+            aggregates=(
+                AggSpec("sum", "linenum"),
+                AggSpec("count", "linenum"),
+                AggSpec("sum", "quantity"),
+            ),
+        )
+        result = tpch_db.query(query, strategy=strategy, cold=True)
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_no_predicate_aggregation(self, tpch_db, strategy):
+        lineitem = tpch_db.projection("lineitem")
+        expected = reference_group_sum(lineitem, "returnflag", "linenum", [])
+        query = SelectQuery(
+            projection="lineitem",
+            select=("returnflag", "sum(linenum)"),
+            group_by="returnflag",
+            aggregates=(AggSpec("sum", "linenum"),),
+        )
+        result = tpch_db.query(query, strategy=strategy, cold=True)
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+
+class TestAggregationBehaviour:
+    def test_lm_constructs_only_summary_tuples(self, tpch_db):
+        lineitem = tpch_db.projection("lineitem")
+        ship = full_column(lineitem, "shipdate")
+        query = agg_query(int(np.quantile(ship, 0.8)), 7)
+        lm = tpch_db.query(query, strategy=Strategy.LM_PARALLEL, cold=True)
+        em = tpch_db.query(query, strategy=Strategy.EM_PARALLEL, cold=True)
+        assert lm.stats.tuples_constructed == lm.n_rows
+        # EM constructs one tuple per surviving input row (plus the summary
+        # rows); LM constructs only the summary rows.
+        assert em.stats.tuples_constructed > 2 * lm.stats.tuples_constructed

@@ -1,0 +1,223 @@
+"""Unit tests for the three position-set representations."""
+
+import numpy as np
+import pytest
+
+from repro.positions import (
+    BitmapPositions,
+    ListedPositions,
+    RangePositions,
+    from_mask,
+    intersect_all,
+    union_all,
+)
+
+
+def make_range():
+    return RangePositions(10, 20)
+
+
+def make_listed():
+    return ListedPositions(np.array([3, 11, 12, 18, 40], dtype=np.int64))
+
+
+def make_bitmap():
+    mask = np.zeros(30, dtype=bool)
+    mask[[1, 11, 12, 19, 25]] = True
+    return BitmapPositions.from_mask(5, mask)  # positions 6, 16, 17, 24, 30
+
+
+class TestRangePositions:
+    def test_count_and_bounds(self):
+        r = make_range()
+        assert r.count() == 10
+        assert r.bounds() == (10, 19)
+
+    def test_empty(self):
+        r = RangePositions(5, 5)
+        assert r.is_empty()
+        assert r.bounds() is None
+        assert not r
+
+    def test_negative_extent_clamped(self):
+        assert RangePositions(9, 3).is_empty()
+
+    def test_to_array(self):
+        assert make_range().to_array().tolist() == list(range(10, 20))
+
+    def test_mask_window(self):
+        mask = make_range().to_mask(8, 14)
+        assert mask.tolist() == [False, False, True, True, True, True]
+
+    def test_contains(self):
+        r = make_range()
+        assert r.contains(10)
+        assert r.contains(19)
+        assert not r.contains(20)
+
+    def test_restrict(self):
+        r = make_range().restrict(15, 100)
+        assert (r.start, r.stop) == (15, 20)
+
+    def test_runs(self):
+        assert list(make_range().runs()) == [(10, 20)]
+
+    def test_range_range_intersection(self):
+        out = make_range().intersect(RangePositions(15, 30))
+        assert isinstance(out, RangePositions)
+        assert (out.start, out.stop) == (15, 20)
+
+    def test_range_union_adjacent_merges(self):
+        out = RangePositions(0, 5).union(RangePositions(5, 9))
+        assert isinstance(out, RangePositions)
+        assert (out.start, out.stop) == (0, 9)
+
+    def test_range_union_disjoint(self):
+        out = RangePositions(0, 2).union(RangePositions(10, 12))
+        assert sorted(out.to_array().tolist()) == [0, 1, 10, 11]
+
+
+class TestListedPositions:
+    def test_dedup_and_sort(self):
+        lp = ListedPositions(np.array([5, 1, 5, 3]))
+        assert lp.to_array().tolist() == [1, 3, 5]
+
+    def test_count_bounds(self):
+        lp = make_listed()
+        assert lp.count() == 5
+        assert lp.bounds() == (3, 40)
+
+    def test_contains(self):
+        lp = make_listed()
+        assert lp.contains(11)
+        assert not lp.contains(10)
+
+    def test_restrict(self):
+        assert make_listed().restrict(11, 19).to_array().tolist() == [11, 12, 18]
+
+    def test_runs(self):
+        assert list(make_listed().runs()) == [(3, 4), (11, 13), (18, 19), (40, 41)]
+
+    def test_mask(self):
+        mask = make_listed().to_mask(10, 14)
+        assert mask.tolist() == [False, True, True, False]
+
+    def test_intersect_with_range(self):
+        out = make_listed().intersect(make_range())
+        assert out.to_array().tolist() == [11, 12, 18]
+
+
+class TestBitmapPositions:
+    def test_count(self):
+        assert make_bitmap().count() == 5
+
+    def test_to_array(self):
+        assert make_bitmap().to_array().tolist() == [6, 16, 17, 24, 30]
+
+    def test_bounds(self):
+        assert make_bitmap().bounds() == (6, 30)
+
+    def test_contains(self):
+        bm = make_bitmap()
+        assert bm.contains(16)
+        assert not bm.contains(15)
+        assert not bm.contains(1000)
+
+    def test_word_count_validation(self):
+        with pytest.raises(ValueError):
+            BitmapPositions(0, 100, np.zeros(1, dtype=np.uint64))
+
+    def test_mask_roundtrip(self):
+        mask = np.random.default_rng(0).random(200) < 0.3
+        bm = BitmapPositions.from_mask(1000, mask)
+        assert np.array_equal(bm.local_mask(), mask)
+
+    def test_aligned_intersection_is_wordwise(self):
+        rng = np.random.default_rng(1)
+        m1 = rng.random(128) < 0.5
+        m2 = rng.random(128) < 0.5
+        a = BitmapPositions.from_mask(0, m1)
+        b = BitmapPositions.from_mask(0, m2)
+        out = a.intersect(b)
+        assert isinstance(out, BitmapPositions)
+        assert np.array_equal(out.local_mask(), m1 & m2)
+
+    def test_unaligned_intersection(self):
+        a = BitmapPositions.from_mask(0, np.ones(10, dtype=bool))
+        b = BitmapPositions.from_mask(5, np.ones(10, dtype=bool))
+        assert a.intersect(b).to_array().tolist() == [5, 6, 7, 8, 9]
+
+    def test_restrict(self):
+        out = make_bitmap().restrict(16, 25)
+        assert out.to_array().tolist() == [16, 17, 24]
+
+    def test_union_aligned(self):
+        a = BitmapPositions.from_mask(0, np.array([1, 0, 0, 1], dtype=bool))
+        b = BitmapPositions.from_mask(0, np.array([0, 1, 0, 1], dtype=bool))
+        assert a.union(b).to_array().tolist() == [0, 1, 3]
+
+
+class TestMixedAlgebra:
+    def test_range_bitmap_intersection_is_restriction(self):
+        out = make_range().intersect(make_bitmap())
+        assert sorted(out.to_array().tolist()) == [16, 17]
+
+    def test_listed_bitmap_intersection(self):
+        lp = ListedPositions(np.array([6, 7, 24, 99]))
+        out = lp.intersect(make_bitmap())
+        assert out.to_array().tolist() == [6, 24]
+
+    def test_intersect_all_matches_set_semantics(self):
+        sets = [make_range(), make_listed(),
+                BitmapPositions.from_mask(0, np.ones(50, dtype=bool))]
+        expected = (
+            set(make_range().to_array().tolist())
+            & set(make_listed().to_array().tolist())
+            & set(range(50))
+        )
+        out = intersect_all(sets)
+        assert set(out.to_array().tolist()) == expected
+
+    def test_intersect_all_requires_input(self):
+        with pytest.raises(ValueError):
+            intersect_all([])
+
+    def test_union_all_bitmaps_wordwise(self):
+        a = BitmapPositions.from_mask(0, np.array([1, 0, 1, 0], dtype=bool))
+        b = BitmapPositions.from_mask(0, np.array([0, 0, 1, 1], dtype=bool))
+        out = union_all([a, b])
+        assert isinstance(out, BitmapPositions)
+        assert out.to_array().tolist() == [0, 2, 3]
+
+    def test_empty_intersection(self):
+        out = RangePositions(0, 5).intersect(RangePositions(10, 20))
+        assert out.is_empty()
+        assert out.count() == 0
+
+
+class TestFromMask:
+    def test_contiguous_becomes_range(self):
+        mask = np.zeros(100, dtype=bool)
+        mask[20:40] = True
+        out = from_mask(1000, mask)
+        assert isinstance(out, RangePositions)
+        assert (out.start, out.stop) == (1020, 1040)
+
+    def test_all_false_is_empty(self):
+        out = from_mask(0, np.zeros(10, dtype=bool))
+        assert out.is_empty()
+
+    def test_sparse_becomes_listed(self):
+        mask = np.zeros(10_000, dtype=bool)
+        mask[[5, 9000]] = True
+        out = from_mask(0, mask)
+        assert isinstance(out, ListedPositions)
+
+    def test_dense_becomes_bitmap(self):
+        rng = np.random.default_rng(3)
+        mask = rng.random(1000) < 0.5
+        mask[0] = True
+        mask[2] = False  # ensure not contiguous
+        out = from_mask(0, mask)
+        assert isinstance(out, BitmapPositions)
+        assert np.array_equal(out.to_mask(0, 1000), mask)

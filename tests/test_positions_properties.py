@@ -1,0 +1,130 @@
+"""Property-based tests: position-set algebra equals Python set semantics."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.positions import (
+    BitmapPositions,
+    ListedPositions,
+    RangePositions,
+    from_mask,
+    intersect_all,
+    union_all,
+)
+
+UNIVERSE = 300
+
+
+@st.composite
+def position_sets(draw):
+    """Any of the three representations over a small universe."""
+    kind = draw(st.sampled_from(["range", "listed", "bitmap"]))
+    if kind == "range":
+        start = draw(st.integers(0, UNIVERSE))
+        stop = draw(st.integers(0, UNIVERSE))
+        return RangePositions(min(start, stop), max(start, stop))
+    members = draw(
+        st.lists(st.integers(0, UNIVERSE - 1), max_size=60, unique=True)
+    )
+    if kind == "listed":
+        return ListedPositions(np.array(sorted(members), dtype=np.int64))
+    offset = draw(st.integers(0, 20))
+    width = draw(st.integers(1, UNIVERSE))
+    mask = np.zeros(width, dtype=bool)
+    for m in members:
+        if offset <= m < offset + width:
+            mask[m - offset] = True
+    return BitmapPositions.from_mask(offset, mask)
+
+
+def as_set(ps):
+    return set(int(p) for p in ps.to_array())
+
+
+@given(position_sets(), position_sets())
+@settings(max_examples=150, deadline=None)
+def test_intersection_matches_set_semantics(a, b):
+    assert as_set(a.intersect(b)) == as_set(a) & as_set(b)
+
+
+@given(position_sets(), position_sets())
+@settings(max_examples=150, deadline=None)
+def test_union_matches_set_semantics(a, b):
+    assert as_set(a.union(b)) == as_set(a) | as_set(b)
+
+
+@given(position_sets(), position_sets())
+@settings(max_examples=100, deadline=None)
+def test_intersection_commutes(a, b):
+    assert as_set(a.intersect(b)) == as_set(b.intersect(a))
+
+
+@given(st.lists(position_sets(), min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_intersect_all_folds_correctly(sets):
+    expected = as_set(sets[0])
+    for s in sets[1:]:
+        expected &= as_set(s)
+    assert as_set(intersect_all(sets)) == expected
+
+
+@given(st.lists(position_sets(), min_size=1, max_size=4))
+@settings(max_examples=100, deadline=None)
+def test_union_all_folds_correctly(sets):
+    expected = set()
+    for s in sets:
+        expected |= as_set(s)
+    assert as_set(union_all(sets)) == expected
+
+
+@given(position_sets())
+@settings(max_examples=150, deadline=None)
+def test_count_matches_array(ps):
+    assert ps.count() == len(ps.to_array())
+    assert ps.is_empty() == (ps.count() == 0)
+
+
+@given(position_sets(), st.integers(0, UNIVERSE), st.integers(0, UNIVERSE))
+@settings(max_examples=150, deadline=None)
+def test_restrict_matches_filter(ps, a, b):
+    start, stop = min(a, b), max(a, b)
+    expected = {p for p in as_set(ps) if start <= p < stop}
+    assert as_set(ps.restrict(start, stop)) == expected
+
+
+@given(position_sets())
+@settings(max_examples=100, deadline=None)
+def test_runs_cover_exactly_members(ps):
+    covered = set()
+    previous_stop = None
+    for start, stop in ps.runs():
+        assert start < stop
+        if previous_stop is not None:
+            # Runs are maximal: consecutive runs cannot touch.
+            assert start > previous_stop
+        previous_stop = stop
+        covered.update(range(start, stop))
+    assert covered == as_set(ps)
+
+
+@given(
+    st.integers(0, 50),
+    st.lists(st.booleans(), min_size=1, max_size=200),
+)
+@settings(max_examples=150, deadline=None)
+def test_from_mask_roundtrip(offset, bits):
+    mask = np.array(bits, dtype=bool)
+    ps = from_mask(offset, mask)
+    expected = {offset + i for i, bit in enumerate(bits) if bit}
+    assert as_set(ps) == expected
+
+
+@given(position_sets(), st.integers(0, UNIVERSE), st.integers(1, UNIVERSE))
+@settings(max_examples=100, deadline=None)
+def test_mask_window_matches_membership(ps, start, width):
+    stop = start + width
+    mask = ps.to_mask(start, stop)
+    members = as_set(ps)
+    for i in range(start, stop):
+        assert mask[i - start] == (i in members)

@@ -1,0 +1,127 @@
+"""Unit tests for SARGable predicates."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PlanError
+from repro.predicates import (
+    ColumnConjunction,
+    Predicate,
+    combine_column_predicates,
+    conjunction_mask,
+)
+
+VALUES = np.array([1, 5, 7, 7, 10, 42], dtype=np.int64)
+
+
+class TestPredicateMask:
+    @pytest.mark.parametrize(
+        "op,value,expected",
+        [
+            ("<", 7, [True, True, False, False, False, False]),
+            ("<=", 7, [True, True, True, True, False, False]),
+            (">", 7, [False, False, False, False, True, True]),
+            (">=", 7, [False, False, True, True, True, True]),
+            ("=", 7, [False, False, True, True, False, False]),
+            ("!=", 7, [True, True, False, False, True, True]),
+        ],
+    )
+    def test_all_operators(self, op, value, expected):
+        pred = Predicate("c", op, value)
+        assert pred.mask(VALUES).tolist() == expected
+
+    def test_operator_aliases_normalised(self):
+        assert Predicate("c", "==", 3).op == "="
+        assert Predicate("c", "<>", 3).op == "!="
+
+    def test_invalid_operator_rejected(self):
+        with pytest.raises(PlanError):
+            Predicate("c", "~", 3)
+
+    def test_matches_value(self):
+        assert Predicate("c", "<", 7).matches_value(6)
+        assert not Predicate("c", "<", 7).matches_value(7)
+
+
+class TestRangeReasoning:
+    def test_overlaps_lt(self):
+        pred = Predicate("c", "<", 10)
+        assert pred.overlaps_range(5, 20)
+        assert not pred.overlaps_range(10, 20)
+
+    def test_overlaps_eq(self):
+        pred = Predicate("c", "=", 10)
+        assert pred.overlaps_range(5, 15)
+        assert not pred.overlaps_range(11, 15)
+
+    def test_overlaps_ne_only_skips_constant_blocks(self):
+        pred = Predicate("c", "!=", 10)
+        assert pred.overlaps_range(5, 15)
+        assert not pred.overlaps_range(10, 10)
+
+    def test_contains_lt(self):
+        pred = Predicate("c", "<", 10)
+        assert pred.contains_range(1, 9)
+        assert not pred.contains_range(1, 10)
+
+    def test_contains_matches_mask_exhaustively(self):
+        # contains_range(lo, hi) must equal "every value in [lo,hi] passes".
+        for op in ("<", "<=", ">", ">=", "=", "!="):
+            pred = Predicate("c", op, 5)
+            for lo in range(0, 10):
+                for hi in range(lo, 10):
+                    window = np.arange(lo, hi + 1)
+                    assert pred.contains_range(lo, hi) == bool(
+                        pred.mask(window).all()
+                    ), (op, lo, hi)
+
+    def test_overlaps_matches_mask_exhaustively(self):
+        for op in ("<", "<=", ">", ">=", "=", "!="):
+            pred = Predicate("c", op, 5)
+            for lo in range(0, 10):
+                for hi in range(lo, 10):
+                    window = np.arange(lo, hi + 1)
+                    assert pred.overlaps_range(lo, hi) == bool(
+                        pred.mask(window).any()
+                    ), (op, lo, hi)
+
+
+class TestConjunction:
+    def test_conjunction_mask(self):
+        preds = [Predicate("c", ">", 2), Predicate("c", "<", 10)]
+        assert conjunction_mask(preds, VALUES).tolist() == [
+            False,
+            True,
+            True,
+            True,
+            False,
+            False,
+        ]
+
+    def test_empty_conjunction_is_all_true(self):
+        assert conjunction_mask([], VALUES).all()
+
+    def test_combine_single_returns_original(self):
+        p = Predicate("c", "<", 3)
+        assert combine_column_predicates([p]) is p
+
+    def test_combine_builds_conjunction(self):
+        c = combine_column_predicates(
+            [Predicate("c", ">", 2), Predicate("c", "<", 10)]
+        )
+        assert isinstance(c, ColumnConjunction)
+        assert c.mask(VALUES).tolist() == [False, True, True, True, False, False]
+        assert c.overlaps_range(5, 6)
+        assert not c.overlaps_range(10, 20)
+        assert c.contains_range(3, 9)
+        assert not c.contains_range(3, 10)
+
+    def test_conjunction_rejects_mixed_columns(self):
+        with pytest.raises(PlanError):
+            ColumnConjunction(
+                "a", (Predicate("a", "<", 1), Predicate("b", "<", 1))
+            )
+
+    def test_conjunction_rejects_empty(self):
+        with pytest.raises(PlanError):
+            ColumnConjunction("a", ())

@@ -1,0 +1,170 @@
+"""Tests for plan prediction, selectivity estimation, and the optimizer."""
+
+import numpy as np
+import pytest
+
+from repro import Predicate, SelectQuery, Strategy, AggSpec
+from repro.model.predictor import predict_join, predict_select
+from repro.planner import JoinQuery, RightTableStrategy, choose_strategy
+from repro.planner.estimate import estimate_selectivity
+
+from .reference import full_column
+
+
+@pytest.fixture(scope="module")
+def lineitem(tpch_db):
+    return tpch_db.projection("lineitem")
+
+
+class TestEstimate:
+    def test_extremes(self, lineitem):
+        cf = lineitem.column("shipdate").file("rle")
+        ship = full_column(lineitem, "shipdate")
+        assert estimate_selectivity(cf, Predicate("shipdate", "<", ship.min())) == 0.0
+        assert estimate_selectivity(
+            cf, Predicate("shipdate", "<", ship.max() + 1)
+        ) == pytest.approx(1.0, abs=0.05)
+
+    @pytest.mark.parametrize("q", [0.1, 0.5, 0.9])
+    def test_midpoints_roughly_accurate(self, lineitem, q):
+        cf = lineitem.column("shipdate").file("rle")
+        ship = full_column(lineitem, "shipdate")
+        x = int(np.quantile(ship, q))
+        actual = float((ship < x).mean())
+        estimated = estimate_selectivity(cf, Predicate("shipdate", "<", x))
+        assert estimated == pytest.approx(actual, abs=0.15)
+
+    def test_equality_predicate(self, lineitem):
+        cf = lineitem.column("linenum").file("uncompressed")
+        est = estimate_selectivity(cf, Predicate("linenum", "=", 3))
+        assert 0.0 < est < 0.5
+
+    def test_conjunction_multiplies(self, lineitem):
+        cf = lineitem.column("shipdate").file("rle")
+        ship = full_column(lineitem, "shipdate")
+        x = int(np.quantile(ship, 0.5))
+        single = estimate_selectivity(cf, Predicate("shipdate", "<", x))
+        from repro.predicates import combine_column_predicates
+
+        combo = combine_column_predicates(
+            [Predicate("shipdate", "<", x), Predicate("shipdate", "<", x)]
+        )
+        assert estimate_selectivity(cf, combo) == pytest.approx(single**2)
+
+
+def make_query(lineitem, quantile, encoding="uncompressed"):
+    ship = full_column(lineitem, "shipdate")
+    x = int(np.quantile(ship, quantile))
+    return SelectQuery(
+        projection="lineitem",
+        select=("shipdate", "linenum"),
+        predicates=(
+            Predicate("shipdate", "<", x),
+            Predicate("linenum", "<", 7),
+        ),
+        encodings=(("linenum", encoding),),
+    )
+
+
+class TestPredictSelect:
+    @pytest.mark.parametrize("strategy", list(Strategy))
+    def test_positive_costs(self, lineitem, strategy):
+        pred = predict_select(lineitem, make_query(lineitem, 0.5), strategy)
+        assert pred.total_ms > 0
+        assert pred.cpu_ms > 0
+        assert pred.breakdown()
+
+    def test_cost_grows_with_selectivity(self, lineitem):
+        lo = predict_select(
+            lineitem, make_query(lineitem, 0.05), Strategy.LM_PARALLEL
+        )
+        hi = predict_select(
+            lineitem, make_query(lineitem, 0.95), Strategy.LM_PARALLEL
+        )
+        assert hi.total_ms > lo.total_ms
+
+    def test_aggregation_reduces_output_cost(self, lineitem):
+        ship = full_column(lineitem, "shipdate")
+        x = int(np.quantile(ship, 0.9))
+        plain = SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "linenum"),
+            predicates=(Predicate("shipdate", "<", x),),
+        )
+        agg = SelectQuery(
+            projection="lineitem",
+            select=("shipdate", "sum(linenum)"),
+            predicates=(Predicate("shipdate", "<", x),),
+            group_by="shipdate",
+            aggregates=(AggSpec("sum", "linenum"),),
+        )
+        p_plain = predict_select(lineitem, plain, Strategy.LM_PARALLEL)
+        p_agg = predict_select(lineitem, agg, Strategy.LM_PARALLEL)
+        assert p_agg.total_ms < p_plain.total_ms
+
+    def test_warm_cache_cheaper(self, lineitem):
+        cold = predict_select(
+            lineitem, make_query(lineitem, 0.5), Strategy.EM_PARALLEL, resident=0.0
+        )
+        warm = predict_select(
+            lineitem, make_query(lineitem, 0.5), Strategy.EM_PARALLEL, resident=1.0
+        )
+        assert warm.io_ms == 0.0
+        assert warm.total_ms < cold.total_ms
+
+
+class TestPredictJoin:
+    def test_single_column_priciest_at_high_selectivity(self, tpch_db):
+        orders = tpch_db.projection("orders")
+        customer = tpch_db.projection("customer")
+        keys = full_column(orders, "custkey")
+        query = JoinQuery(
+            left="orders",
+            right="customer",
+            left_key="custkey",
+            right_key="custkey",
+            left_select=("shipdate",),
+            right_select=("nationcode",),
+            left_predicates=(
+                Predicate("custkey", "<", int(np.quantile(keys, 0.9))),
+            ),
+        )
+        costs = {
+            s: predict_join(orders, customer, query, s).total_ms
+            for s in RightTableStrategy
+        }
+        assert costs[RightTableStrategy.SINGLE_COLUMN] > costs[
+            RightTableStrategy.MATERIALIZED
+        ]
+        assert all(c > 0 for c in costs.values())
+
+
+class TestOptimizer:
+    def test_chooses_some_strategy(self, lineitem, tpch_db):
+        best, predictions = choose_strategy(lineitem, make_query(lineitem, 0.5))
+        assert best in predictions
+        assert len(predictions) == 4
+
+    def test_bitvector_excludes_lm_pipelined(self, lineitem):
+        query = make_query(lineitem, 0.5, encoding="bitvector")
+        _best, predictions = choose_strategy(lineitem, query)
+        assert Strategy.LM_PIPELINED not in predictions
+        assert len(predictions) == 3
+
+    def test_auto_runs_chosen_strategy(self, tpch_db, lineitem):
+        query = make_query(lineitem, 0.3)
+        result = tpch_db.query(query, strategy="auto", cold=True)
+        assert result.strategy in {s.value for s in Strategy}
+
+    def test_prediction_ranks_match_observed_simulated_time(
+        self, tpch_db, lineitem
+    ):
+        """The model's cheapest strategy should be near-cheapest in replay."""
+        query = make_query(lineitem, 0.1)
+        best, _predictions = choose_strategy(lineitem, query)
+        sims = {}
+        for strategy in Strategy:
+            r = tpch_db.query(query, strategy=strategy, cold=True)
+            sims[strategy] = r.simulated_ms
+        observed_best = min(sims.values())
+        assert sims[best] <= observed_best * 2.0

@@ -1,0 +1,181 @@
+"""Unit tests for projections and the catalog."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INT32, UINT8, ColumnSchema
+from repro.errors import CatalogError
+from repro.storage import Catalog, Projection
+
+from .reference import full_column
+
+
+@pytest.fixture
+def two_columns():
+    rng = np.random.default_rng(21)
+    n = 30_000
+    return {
+        "flag": rng.integers(0, 3, size=n).astype(np.uint8),
+        "day": rng.integers(0, 365, size=n).astype(np.int32),
+    }
+
+
+SCHEMAS = {
+    "flag": ColumnSchema("flag", UINT8, dictionary=("A", "N", "R")),
+    "day": ColumnSchema("day", INT32),
+}
+
+
+class TestProjection:
+    def test_sorting_applied(self, tmp_path, two_columns):
+        proj = Projection.create(
+            tmp_path / "p",
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=["flag", "day"],
+            encodings={"flag": ["rle"], "day": ["rle", "uncompressed"]},
+        )
+        flag = full_column(proj, "flag")
+        day = full_column(proj, "day")
+        # Lexicographic (flag, day) order.
+        keys = flag.astype(np.int64) * 1000 + day
+        assert np.all(np.diff(keys) >= 0)
+
+    def test_sorted_data_is_permutation(self, tmp_path, two_columns):
+        proj = Projection.create(
+            tmp_path / "p",
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=["flag"],
+            encodings={"flag": ["rle"], "day": ["uncompressed"]},
+        )
+        assert np.array_equal(
+            np.sort(full_column(proj, "day")), np.sort(two_columns["day"])
+        )
+
+    def test_open_roundtrip(self, tmp_path, two_columns):
+        Projection.create(
+            tmp_path / "p",
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=["flag", "day"],
+            encodings={"flag": ["rle"], "day": ["rle", "uncompressed"]},
+        )
+        proj = Projection.open(tmp_path / "p")
+        assert proj.name == "p"
+        assert proj.n_rows == 30_000
+        assert proj.sort_keys == ["flag", "day"]
+        assert proj.column("day").encodings == ["rle", "uncompressed"]
+        assert proj.schema("flag").dictionary == ("A", "N", "R")
+
+    def test_redundant_encodings_agree(self, tmp_path, two_columns):
+        Projection.create(
+            tmp_path / "p",
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=["flag", "day"],
+            encodings={"flag": ["rle"], "day": ["rle", "uncompressed"]},
+        )
+        proj = Projection.open(tmp_path / "p")
+        assert np.array_equal(
+            full_column(proj, "day", "rle"),
+            full_column(proj, "day", "uncompressed"),
+        )
+
+    def test_encoding_preference_order(self, tmp_path, two_columns):
+        proj = Projection.create(
+            tmp_path / "p",
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=[],
+            encodings={"flag": ["uncompressed", "rle"], "day": ["uncompressed"]},
+            presorted=True,
+        )
+        assert proj.column("flag").file().encoding.name == "rle"
+        assert proj.column("day").file().encoding.name == "uncompressed"
+
+    def test_missing_encoding_rejected(self, tmp_path, two_columns):
+        proj = Projection.create(
+            tmp_path / "p",
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=[],
+            encodings={"flag": ["rle"], "day": ["uncompressed"]},
+            presorted=True,
+        )
+        with pytest.raises(CatalogError):
+            proj.column("day").file("bitvector")
+
+    def test_unknown_column_rejected(self, tmp_path, two_columns):
+        proj = Projection.create(
+            tmp_path / "p",
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=[],
+            encodings={},
+            presorted=True,
+        )
+        with pytest.raises(CatalogError):
+            proj.column("nope")
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        with pytest.raises(CatalogError):
+            Projection.create(
+                tmp_path / "p",
+                "p",
+                {
+                    "flag": np.zeros(5, dtype=np.uint8),
+                    "day": np.zeros(6, dtype=np.int32),
+                },
+                SCHEMAS,
+                sort_keys=[],
+                encodings={},
+            )
+
+
+class TestCatalog:
+    def test_create_and_get(self, tmp_path, two_columns):
+        cat = Catalog(tmp_path)
+        cat.create_projection(
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=["flag"],
+            encodings={"flag": ["rle"], "day": ["uncompressed"]},
+        )
+        assert "p" in cat
+        assert cat.get("p").n_rows == 30_000
+
+    def test_rediscovery_on_reopen(self, tmp_path, two_columns):
+        cat = Catalog(tmp_path)
+        cat.create_projection(
+            "p",
+            two_columns,
+            SCHEMAS,
+            sort_keys=["flag"],
+            encodings={"flag": ["rle"], "day": ["uncompressed"]},
+        )
+        cat2 = Catalog(tmp_path)
+        assert cat2.names() == ["p"]
+        assert cat2.get("p").sort_keys == ["flag"]
+
+    def test_duplicate_name_rejected(self, tmp_path, two_columns):
+        cat = Catalog(tmp_path)
+        cat.create_projection(
+            "p", two_columns, SCHEMAS, sort_keys=[], encodings={}
+        )
+        with pytest.raises(CatalogError):
+            cat.create_projection(
+                "p", two_columns, SCHEMAS, sort_keys=[], encodings={}
+            )
+
+    def test_unknown_projection_rejected(self, tmp_path):
+        with pytest.raises(CatalogError):
+            Catalog(tmp_path).get("missing")

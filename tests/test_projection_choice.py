@@ -1,0 +1,150 @@
+"""Tests for anchor tables and model-driven projection selection."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Predicate, SelectQuery
+from repro.dtypes import INT32, INT64, ColumnSchema
+from repro.errors import CatalogError
+from repro.planner.projection_choice import (
+    covering_candidates,
+    resolve_join_side,
+    resolve_projection,
+)
+
+from .reference import canonical, reference_select
+
+
+@pytest.fixture(scope="module")
+def anchored_db(tmp_path_factory):
+    """One logical table 'events' stored as two differently-sorted projections."""
+    rng = np.random.default_rng(55)
+    n = 50_000
+    ts = rng.integers(0, 10_000, size=n).astype(np.int64)
+    user = rng.integers(0, 500, size=n).astype(np.int32)
+    action = rng.integers(0, 8, size=n).astype(np.int32)
+    schemas = {
+        "ts": ColumnSchema("ts", INT64),
+        "user": ColumnSchema("user", INT32),
+        "action": ColumnSchema("action", INT32),
+    }
+    db = Database(tmp_path_factory.mktemp("anchored"))
+    db.catalog.create_projection(
+        "events_by_time",
+        {"ts": ts, "user": user, "action": action},
+        schemas=schemas,
+        sort_keys=["ts"],
+        encodings={"ts": ["rle"], "user": ["uncompressed"],
+                   "action": ["uncompressed"]},
+        anchor="events",
+    )
+    db.catalog.create_projection(
+        "events_by_user",
+        {"ts": ts, "user": user, "action": action},
+        schemas=schemas,
+        sort_keys=["user", "ts"],
+        encodings={"user": ["rle"], "ts": ["uncompressed"],
+                   "action": ["uncompressed"]},
+        anchor="events",
+    )
+    return db
+
+
+class TestCatalogAnchors:
+    def test_candidates_by_anchor(self, anchored_db):
+        names = {p.name for p in anchored_db.catalog.candidates("events")}
+        assert names == {"events_by_time", "events_by_user"}
+
+    def test_candidates_by_direct_name(self, anchored_db):
+        names = [p.name for p in anchored_db.catalog.candidates("events_by_time")]
+        assert names == ["events_by_time"]
+
+    def test_has(self, anchored_db):
+        assert anchored_db.catalog.has("events")
+        assert anchored_db.catalog.has("events_by_user")
+        assert not anchored_db.catalog.has("nonsense")
+
+    def test_anchor_survives_reopen(self, anchored_db):
+        from repro.storage.catalog import Catalog
+
+        reopened = Catalog(anchored_db.catalog.root)
+        assert len(reopened.candidates("events")) == 2
+
+
+class TestResolution:
+    def test_time_predicate_picks_time_sorted(self, anchored_db):
+        query = SelectQuery(
+            projection="events",
+            select=("ts", "action"),
+            predicates=(Predicate("ts", "<", 500),),
+        )
+        chosen = resolve_projection(anchored_db.catalog, query)
+        assert chosen.name == "events_by_time"
+
+    def test_user_predicate_picks_user_sorted(self, anchored_db):
+        query = SelectQuery(
+            projection="events",
+            select=("user", "action"),
+            predicates=(Predicate("user", "=", 42),),
+        )
+        chosen = resolve_projection(anchored_db.catalog, query)
+        assert chosen.name == "events_by_user"
+
+    def test_direct_name_bypasses_choice(self, anchored_db):
+        query = SelectQuery(
+            projection="events_by_time",
+            select=("user",),
+            predicates=(Predicate("user", "=", 42),),
+        )
+        assert (
+            resolve_projection(anchored_db.catalog, query).name
+            == "events_by_time"
+        )
+
+    def test_unknown_table(self, anchored_db):
+        query = SelectQuery(projection="ghost", select=("x",))
+        with pytest.raises(CatalogError):
+            covering_candidates(anchored_db.catalog, query)
+
+    def test_uncovered_columns(self, anchored_db):
+        query = SelectQuery(projection="events", select=("ts", "missing"))
+        with pytest.raises(CatalogError):
+            covering_candidates(anchored_db.catalog, query)
+
+    def test_join_side_resolution(self, anchored_db):
+        proj = resolve_join_side(anchored_db.catalog, "events", ["ts", "user"])
+        assert proj.anchor == "events"
+        with pytest.raises(CatalogError):
+            resolve_join_side(anchored_db.catalog, "events", ["nope"])
+
+
+class TestEndToEnd:
+    def test_query_against_anchor_correct(self, anchored_db):
+        query = SelectQuery(
+            projection="events",
+            select=("ts", "user"),
+            predicates=(Predicate("user", "=", 7),),
+        )
+        result = anchored_db.query(query, strategy="lm-parallel", cold=True)
+        chosen = resolve_projection(anchored_db.catalog, query)
+        expected = reference_select(chosen, ["ts", "user"], list(query.predicates))
+        assert np.array_equal(canonical(result.tuples.data), canonical(expected))
+
+    def test_sql_against_anchor(self, anchored_db):
+        r = anchored_db.sql(
+            "SELECT user, COUNT(user) FROM events WHERE ts < 100 GROUP BY user"
+        )
+        assert r.n_rows > 0
+
+    def test_both_projections_agree(self, anchored_db):
+        predicates = (Predicate("action", "=", 3),)
+        results = []
+        for name in ("events_by_time", "events_by_user"):
+            query = SelectQuery(
+                projection=name,
+                select=("ts", "user", "action"),
+                predicates=predicates,
+            )
+            r = anchored_db.query(query, strategy="em-parallel", cold=True)
+            results.append(canonical(r.tuples.data))
+        assert np.array_equal(results[0], results[1])

@@ -1,0 +1,55 @@
+"""Tests for the self-contained figure reproduction module and CLI command."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ReproError
+from repro.reproduce import FIGURES, SWEEP, reproduce_figure
+
+
+class TestReproduceFigure:
+    def test_selection_figure_shape(self):
+        lines = []
+        table = reproduce_figure("11b", scale=0.002, out=lines.append)
+        assert set(table) == {
+            "em-pipelined", "em-parallel", "lm-pipelined", "lm-parallel",
+        }
+        for series in table.values():
+            assert len(series) == len(SWEEP)
+        assert any("Figure 11b" in line for line in lines)
+
+    def test_bitvector_figure_marks_na(self):
+        table = reproduce_figure("11c", scale=0.002, out=lambda _line: None)
+        missing = [row for row in table["lm-pipelined"] if row[2] is None]
+        assert missing  # LM-pipelined inapplicable over most of the sweep
+
+    def test_join_figure(self):
+        table = reproduce_figure("13", scale=0.002, out=lambda _line: None)
+        assert set(table) == {"materialized", "multi-column", "single-column"}
+        for series in table.values():
+            assert all(sim is not None for _sel, _wall, sim in series)
+
+    def test_figure_name_normalization(self):
+        table = reproduce_figure("Fig12a", scale=0.002, out=lambda _l: None)
+        assert "lm-parallel" in table
+
+    def test_unknown_figure(self):
+        with pytest.raises(ReproError):
+            reproduce_figure("99z", out=lambda _l: None)
+
+    def test_all_figures_registered(self):
+        assert set(FIGURES) == {"11a", "11b", "11c", "12a", "12b", "12c", "13"}
+
+
+class TestReproduceCLI:
+    def test_cli_runs(self, capsys):
+        code = main(["reproduce", "12c", "--scale", "0.002"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Figure 12c" in out
+        assert "lm-parallel" in out
+
+    def test_cli_bad_figure(self, capsys):
+        code = main(["reproduce", "nope"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

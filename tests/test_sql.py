@@ -1,0 +1,220 @@
+"""Unit tests for the SQL front-end: lexer, parser, binder."""
+
+import pytest
+
+from repro.errors import SQLError
+from repro.planner import JoinQuery, SelectQuery
+from repro.sql import bind, parse, tokenize
+from repro.sql.ast import ColumnRef, FuncCall, JoinCondition
+
+
+class TestLexer:
+    def test_keywords_and_idents(self):
+        toks = tokenize("SELECT shipdate FROM lineitem")
+        kinds = [(t.kind, t.value) for t in toks]
+        assert kinds == [
+            ("keyword", "SELECT"),
+            ("ident", "shipdate"),
+            ("keyword", "FROM"),
+            ("ident", "lineitem"),
+            ("eof", ""),
+        ]
+
+    def test_case_insensitive_keywords(self):
+        toks = tokenize("select x from t")
+        assert toks[0].value == "SELECT"
+
+    def test_numbers(self):
+        toks = tokenize("WHERE x < 42.5")
+        assert ("number", "42.5") == (toks[3].kind, toks[3].value)
+
+    def test_negative_number_after_operator(self):
+        toks = tokenize("WHERE x < -5")
+        assert ("number", "-5") == (toks[3].kind, toks[3].value)
+
+    def test_string_literal(self):
+        toks = tokenize("WHERE d < '1994-01-01'")
+        assert ("string", "1994-01-01") == (toks[3].kind, toks[3].value)
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLError):
+            tokenize("WHERE d < '1994")
+
+    def test_two_char_operators(self):
+        toks = tokenize("a <= b >= c <> d != e")
+        ops = [t.value for t in toks if t.kind == "op"]
+        assert ops == ["<=", ">=", "<>", "!="]
+
+    def test_unknown_character(self):
+        with pytest.raises(SQLError):
+            tokenize("SELECT @x")
+
+
+class TestParser:
+    def test_simple_select(self):
+        stmt = parse("SELECT a, b FROM t WHERE a < 5 AND b = 3")
+        assert stmt.select == [ColumnRef("a"), ColumnRef("b")]
+        assert stmt.tables[0].name == "t"
+        assert len(stmt.comparisons) == 2
+        assert stmt.comparisons[0].op == "<"
+
+    def test_aggregate_and_group_by(self):
+        stmt = parse("SELECT g, SUM(v) FROM t GROUP BY g")
+        assert stmt.select[1] == FuncCall("sum", ColumnRef("v"))
+        assert stmt.group_by == [ColumnRef("g")]
+
+    def test_qualified_columns_and_aliases(self):
+        stmt = parse(
+            "SELECT o.shipdate, c.nationcode FROM orders o, customer c "
+            "WHERE o.custkey = c.custkey"
+        )
+        assert stmt.tables[0].binding == "o"
+        assert stmt.join == JoinCondition(
+            ColumnRef("custkey", "o"), ColumnRef("custkey", "c")
+        )
+
+    def test_between_expands(self):
+        stmt = parse("SELECT a FROM t WHERE a BETWEEN 3 AND 9")
+        assert [(c.op, c.value) for c in stmt.comparisons] == [
+            (">=", 3),
+            ("<=", 9),
+        ]
+
+    def test_join_requires_equality(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t, u WHERE t.a < u.b")
+
+    def test_two_joins_rejected(self):
+        with pytest.raises(SQLError):
+            parse(
+                "SELECT a FROM t, u WHERE t.a = u.a AND t.b = u.b"
+            )
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(SQLError):
+            parse("SELECT median(x) FROM t")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a FROM t extra stuff ;")
+
+    def test_missing_from(self):
+        with pytest.raises(SQLError):
+            parse("SELECT a WHERE a < 3")
+
+
+class TestBinder:
+    def test_binds_select_query(self, tpch_db):
+        q = bind(
+            parse(
+                "SELECT shipdate, linenum FROM lineitem "
+                "WHERE shipdate < '1994-01-01' AND linenum < 7"
+            ),
+            tpch_db.catalog,
+        )
+        assert isinstance(q, SelectQuery)
+        assert q.projection == "lineitem"
+        assert q.select == ("shipdate", "linenum")
+        # Date literal became an int days-since-epoch.
+        assert isinstance(q.predicates[0].value, int)
+
+    def test_binds_dictionary_literal(self, tpch_db):
+        q = bind(
+            parse("SELECT linenum FROM lineitem WHERE returnflag = 'R'"),
+            tpch_db.catalog,
+        )
+        assert q.predicates[0].value == 2  # code for 'R'
+
+    def test_rejects_bad_date(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(
+                parse("SELECT linenum FROM lineitem WHERE shipdate < 'soon'"),
+                tpch_db.catalog,
+            )
+
+    def test_rejects_string_on_numeric(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(
+                parse("SELECT linenum FROM lineitem WHERE quantity < 'five'"),
+                tpch_db.catalog,
+            )
+
+    def test_binds_aggregate(self, tpch_db):
+        q = bind(
+            parse(
+                "SELECT shipdate, SUM(linenum) FROM lineitem GROUP BY shipdate"
+            ),
+            tpch_db.catalog,
+        )
+        assert q.group_by == ("shipdate",)
+        assert q.aggregates[0].output_name == "sum(linenum)"
+        assert q.select == ("shipdate", "sum(linenum)")
+
+    def test_aggregate_without_group_by_rejected(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(
+                parse("SELECT SUM(linenum) FROM lineitem"), tpch_db.catalog
+            )
+
+    def test_stray_plain_column_rejected(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(
+                parse(
+                    "SELECT quantity, SUM(linenum) FROM lineitem "
+                    "GROUP BY shipdate"
+                ),
+                tpch_db.catalog,
+            )
+
+    def test_binds_join_query(self, tpch_db):
+        q = bind(
+            parse(
+                "SELECT o.shipdate, c.nationcode FROM orders o, customer c "
+                "WHERE o.custkey = c.custkey AND o.custkey < 100"
+            ),
+            tpch_db.catalog,
+        )
+        assert isinstance(q, JoinQuery)
+        assert q.left == "orders"
+        assert q.right == "customer"
+        assert q.left_select == ("shipdate",)
+        assert q.right_select == ("nationcode",)
+        assert q.left_predicates[0].column == "custkey"
+
+    def test_join_side_inferred_from_predicates(self, tpch_db):
+        # Tables listed in the "wrong" order: predicates on orders still make
+        # it the outer side.
+        q = bind(
+            parse(
+                "SELECT o.shipdate, c.nationcode FROM customer c, orders o "
+                "WHERE c.custkey = o.custkey AND o.custkey < 100"
+            ),
+            tpch_db.catalog,
+        )
+        assert q.left == "orders"
+        assert q.right == "customer"
+
+    def test_unknown_table(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(parse("SELECT a FROM nope"), tpch_db.catalog)
+
+    def test_unknown_column(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(parse("SELECT wat FROM lineitem"), tpch_db.catalog)
+
+    def test_ambiguous_column(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(
+                parse(
+                    "SELECT shipdate FROM orders o, lineitem l "
+                    "WHERE o.custkey = l.linenum"
+                ),
+                tpch_db.catalog,
+            )
+
+    def test_three_tables_rejected(self, tpch_db):
+        with pytest.raises(SQLError):
+            bind(
+                parse("SELECT shipdate FROM orders, customer, lineitem"),
+                tpch_db.catalog,
+            )

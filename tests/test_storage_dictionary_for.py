@@ -1,0 +1,160 @@
+"""Codec-specific tests for dictionary and frame-of-reference encodings."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INT32, INT64
+from repro.predicates import Predicate
+from repro.storage import encoding_by_name
+
+from .test_storage_encodings import encode_all
+
+
+class TestDictionarySpecifics:
+    def test_code_width_shrinks_with_cardinality(self):
+        codec = encoding_by_name("dictionary")
+        rng = np.random.default_rng(0)
+        small = rng.integers(0, 5, size=200_000).astype(np.int32)
+        large = rng.integers(0, 400, size=200_000).astype(np.int32)
+        small_bytes = sum(len(p) for _d, p in encode_all(codec, small, np.dtype("<i4")))
+        large_bytes = sum(len(p) for _d, p in encode_all(codec, large, np.dtype("<i4")))
+        # 5 distinct values -> 1-byte codes; 5000 -> 2-byte codes.
+        assert small_bytes < 0.35 * small.nbytes
+        assert large_bytes < 0.65 * large.nbytes
+        assert small_bytes < large_bytes
+
+    def test_dictionary_size_introspection(self):
+        codec = encoding_by_name("dictionary")
+        values = np.array([9, 9, 3, 3, 7], dtype=np.int32)
+        (_d, payload), = encode_all(codec, values, np.dtype("<i4"))
+        assert codec.dictionary_size(payload) == 3
+
+    def test_predicate_evaluated_on_dictionary(self):
+        codec = encoding_by_name("dictionary")
+        values = np.array([10, 20, 10, 30, 20], dtype=np.int32)
+        (desc, payload), = encode_all(codec, values, np.dtype("<i4"))
+        ps = codec.scan_positions(
+            payload, desc, np.dtype("<i4"), Predicate("c", "<=", 20)
+        )
+        assert ps.to_array().tolist() == [0, 1, 2, 4]
+
+    def test_supports_position_filtering(self):
+        assert encoding_by_name("dictionary").supports_position_filtering
+
+    def test_int64_values(self):
+        codec = encoding_by_name("dictionary")
+        values = np.array([2**40, 5, 2**40, -7], dtype=np.int64)
+        blocks = encode_all(codec, values, INT64.numpy_dtype)
+        out = np.concatenate(
+            [codec.decode(p, d, INT64.numpy_dtype) for d, p in blocks]
+        )
+        assert np.array_equal(out, values)
+
+
+class TestFORSpecifics:
+    def test_constant_block_packs_to_zero_bits(self):
+        codec = encoding_by_name("for")
+        values = np.full(10_000, 1234, dtype=np.int32)
+        (desc, payload), = encode_all(codec, values, np.dtype("<i4"))
+        assert codec.block_width_bits(payload) == 0
+        assert len(payload) < 64  # header only
+
+    def test_narrow_range_packs_to_one_byte(self):
+        codec = encoding_by_name("for")
+        rng = np.random.default_rng(1)
+        values = (1_000_000 + rng.integers(0, 200, size=100_000)).astype(
+            np.int32
+        )
+        blocks = encode_all(codec, values, np.dtype("<i4"))
+        assert all(codec.block_width_bits(p) == 8 for _d, p in blocks)
+        total = sum(len(p) for _d, p in blocks)
+        assert total < 0.30 * values.nbytes
+
+    def test_wide_range_falls_back_to_wide_words(self):
+        codec = encoding_by_name("for")
+        values = np.array([0, 2**31 - 1], dtype=np.int32)
+        (_d, payload), = encode_all(codec, values, np.dtype("<i4"))
+        assert codec.block_width_bits(payload) == 32
+
+    def test_negative_reference(self):
+        codec = encoding_by_name("for")
+        values = np.array([-100, -99, -55], dtype=np.int32)
+        (desc, payload), = encode_all(codec, values, np.dtype("<i4"))
+        assert np.array_equal(
+            codec.decode(payload, desc, np.dtype("<i4")), values
+        )
+
+    def test_width_changes_between_blocks(self):
+        codec = encoding_by_name("for")
+        narrow = np.arange(70_000, dtype=np.int64) % 100
+        wide = np.arange(70_000, dtype=np.int64) * 100_000
+        values = np.concatenate((narrow, wide))
+        blocks = encode_all(codec, values, INT64.numpy_dtype)
+        widths = {codec.block_width_bits(p) for _d, p in blocks}
+        assert len(widths) > 1
+        out = np.concatenate(
+            [codec.decode(p, d, INT64.numpy_dtype) for d, p in blocks]
+        )
+        assert np.array_equal(out, values)
+
+    def test_effective_on_clustered_sorted_data(self):
+        codec = encoding_by_name("for")
+        values = np.sort(
+            np.random.default_rng(2).integers(0, 3_000, size=300_000)
+        ).astype(np.int32)
+        total = sum(len(p) for _d, p in encode_all(codec, values, np.dtype("<i4")))
+        assert total < 0.5 * values.nbytes
+
+
+class TestNewCodecsThroughEngine:
+    """The new codecs work through projections and all four strategies."""
+
+    @pytest.fixture()
+    def db_with_codecs(self, fresh_db):
+        from repro.dtypes import ColumnSchema
+
+        rng = np.random.default_rng(3)
+        n = 30_000
+        a = np.sort(rng.integers(0, 500, size=n)).astype(np.int32)
+        b = rng.integers(0, 9, size=n).astype(np.int32)
+        fresh_db.catalog.create_projection(
+            "t",
+            {"a": a, "b": b},
+            schemas={
+                "a": ColumnSchema("a", INT32),
+                "b": ColumnSchema("b", INT32),
+            },
+            sort_keys=["a"],
+            encodings={"a": ["for", "uncompressed"], "b": ["dictionary"]},
+            presorted=True,
+        )
+        return fresh_db, a, b
+
+    @pytest.mark.parametrize(
+        "strategy",
+        ["em-pipelined", "em-parallel", "lm-pipelined", "lm-parallel"],
+    )
+    def test_strategies_over_new_codecs(self, db_with_codecs, strategy):
+        from repro import Predicate, SelectQuery
+
+        db, a, b = db_with_codecs
+        query = SelectQuery(
+            projection="t",
+            select=("a", "b"),
+            predicates=(
+                Predicate("a", "<", 250),
+                Predicate("b", ">=", 3),
+            ),
+            encodings=(("a", "for"), ("b", "dictionary")),
+        )
+        result = db.query(query, strategy=strategy, cold=True)
+        mask = (a < 250) & (b >= 3)
+        assert result.n_rows == int(mask.sum())
+        got = result.tuples.data[np.lexsort(
+            (result.tuples.data[:, 1], result.tuples.data[:, 0])
+        )]
+        expected = np.stack(
+            [a[mask].astype(np.int64), b[mask].astype(np.int64)], axis=1
+        )
+        expected = expected[np.lexsort((expected[:, 1], expected[:, 0]))]
+        assert np.array_equal(got, expected)

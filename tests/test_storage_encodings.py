@@ -1,0 +1,213 @@
+"""Unit tests for the three column codecs."""
+
+import numpy as np
+import pytest
+
+from repro.dtypes import INT32, INT64
+from repro.errors import UnsupportedOperationError
+from repro.predicates import Predicate
+from repro.storage import encoding_by_name
+from repro.storage.block import BLOCK_SIZE, BlockDescriptor
+from repro.storage.rle import compute_runs
+
+
+def encode_all(encoding, values, dtype):
+    """Encode and return [(descriptor, payload)] like a column file would."""
+    out = []
+    for i, blk in enumerate(encoding.encode(values, dtype)):
+        desc = BlockDescriptor(
+            index=i,
+            offset=0,
+            nbytes=len(blk.payload),
+            start_pos=blk.start_pos,
+            n_values=blk.n_values,
+            min_value=blk.min_value,
+            max_value=blk.max_value,
+        )
+        out.append((desc, blk.payload))
+    return out
+
+
+def decode_all(encoding, blocks, dtype):
+    return np.concatenate(
+        [encoding.decode(p, d, dtype) for d, p in blocks]
+    )
+
+
+@pytest.fixture(params=["uncompressed", "rle", "bitvector", "dictionary", "for"])
+def codec(request):
+    return encoding_by_name(request.param)
+
+
+class TestRoundTrip:
+    def test_small_roundtrip(self, codec):
+        values = np.array([3, 3, 3, 1, 1, 9, 2, 2], dtype=np.int32)
+        blocks = encode_all(codec, values, INT32.numpy_dtype)
+        assert np.array_equal(
+            decode_all(codec, blocks, INT32.numpy_dtype), values
+        )
+
+    def test_multiblock_roundtrip(self, codec):
+        rng = np.random.default_rng(0)
+        values = rng.integers(0, 12, size=200_000).astype(np.int32)
+        blocks = encode_all(codec, values, INT32.numpy_dtype)
+        assert len(blocks) > 1
+        assert np.array_equal(
+            decode_all(codec, blocks, INT32.numpy_dtype), values
+        )
+
+    def test_payloads_fit_block_size(self, codec):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 12, size=150_000).astype(np.int32)
+        for desc, payload in encode_all(codec, values, INT32.numpy_dtype):
+            assert len(payload) <= BLOCK_SIZE
+
+    def test_block_coverage_is_contiguous(self, codec):
+        rng = np.random.default_rng(2)
+        values = rng.integers(0, 5, size=120_000).astype(np.int32)
+        blocks = encode_all(codec, values, INT32.numpy_dtype)
+        pos = 0
+        for desc, _payload in blocks:
+            assert desc.start_pos == pos
+            pos = desc.end_pos
+        assert pos == len(values)
+
+    def test_minmax_descriptors(self, codec):
+        values = np.array([5, 5, 1, 9, 9, 9], dtype=np.int32)
+        (desc, _payload), = encode_all(codec, values, INT32.numpy_dtype)
+        assert desc.min_value == 1
+        assert desc.max_value == 9
+
+
+class TestScanPositions:
+    @pytest.mark.parametrize("op,const", [("<", 6), (">=", 6), ("=", 3), ("!=", 3)])
+    def test_matches_reference(self, codec, op, const):
+        rng = np.random.default_rng(3)
+        values = np.sort(rng.integers(0, 12, size=90_000)).astype(np.int32)
+        pred = Predicate("c", op, const)
+        expected = np.nonzero(pred.mask(values))[0]
+        got = []
+        for desc, payload in encode_all(codec, values, INT32.numpy_dtype):
+            ps = codec.scan_positions(payload, desc, INT32.numpy_dtype, pred)
+            got.append(ps.to_array())
+        got = np.concatenate([g for g in got if g.size] or [np.empty(0, int)])
+        assert np.array_equal(got, expected)
+
+    def test_no_match_is_empty(self, codec):
+        values = np.arange(100, dtype=np.int32)
+        (desc, payload), = encode_all(codec, values, INT32.numpy_dtype)
+        ps = codec.scan_positions(
+            payload, desc, INT32.numpy_dtype, Predicate("c", ">", 1000)
+        )
+        assert ps.is_empty()
+
+
+class TestGather:
+    def test_gather_matches_decode(self, codec):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 8, size=50_000).astype(np.int32)
+        blocks = encode_all(codec, values, INT32.numpy_dtype)
+        desc, payload = blocks[0]
+        picks = np.array(
+            [desc.start_pos, desc.start_pos + 7, desc.end_pos - 1], dtype=np.int64
+        )
+        got = codec.gather(payload, desc, INT32.numpy_dtype, picks)
+        assert np.array_equal(got, values[picks])
+
+
+class TestRLESpecifics:
+    def test_compute_runs(self):
+        values = np.array([7, 7, 7, 2, 9, 9], dtype=np.int32)
+        rv, ro, rl = compute_runs(values)
+        assert rv.tolist() == [7, 2, 9]
+        assert ro.tolist() == [0, 3, 4]
+        assert rl.tolist() == [3, 1, 2]
+
+    def test_compute_runs_empty(self):
+        rv, ro, rl = compute_runs(np.empty(0, dtype=np.int32))
+        assert len(rv) == len(ro) == len(rl) == 0
+
+    def test_runs_view(self):
+        rle = encoding_by_name("rle")
+        values = np.repeat(np.array([4, 8], dtype=np.int32), [10, 5])
+        (desc, payload), = encode_all(rle, values, INT32.numpy_dtype)
+        rv, rs, rl = rle.runs(payload, desc, INT32.numpy_dtype)
+        assert rv.tolist() == [4, 8]
+        assert rs.tolist() == [0, 10]
+        assert rl.tolist() == [10, 5]
+
+    def test_run_count_stat(self):
+        rle = encoding_by_name("rle")
+        values = np.repeat(np.arange(50, dtype=np.int32), 100)
+        (desc, payload), = encode_all(rle, values, INT32.numpy_dtype)
+        assert rle.stats_run_count(payload, desc) == 50
+
+    def test_adjacent_matching_runs_merge_in_positions(self):
+        rle = encoding_by_name("rle")
+        values = np.repeat(np.array([1, 2, 9, 3], dtype=np.int32), 5)
+        (desc, payload), = encode_all(rle, values, INT32.numpy_dtype)
+        ps = rle.scan_positions(
+            payload, desc, INT32.numpy_dtype, Predicate("c", "<", 3)
+        )
+        assert ps.to_array().tolist() == list(range(10))
+
+
+class TestBitVectorSpecifics:
+    def test_position_filtering_flag(self):
+        bv = encoding_by_name("bitvector")
+        assert not bv.supports_position_filtering
+        assert encoding_by_name("rle").supports_position_filtering
+        assert encoding_by_name("uncompressed").supports_position_filtering
+
+    def test_runs_unsupported(self):
+        bv = encoding_by_name("bitvector")
+        values = np.zeros(10, dtype=np.int32)
+        (desc, payload), = encode_all(bv, values, INT32.numpy_dtype)
+        with pytest.raises(UnsupportedOperationError):
+            bv.runs(payload, desc, INT32.numpy_dtype)
+
+    def test_range_predicate_ors_bitstrings(self):
+        bv = encoding_by_name("bitvector")
+        values = np.array([1, 2, 3, 1, 2, 3, 3], dtype=np.int32)
+        (desc, payload), = encode_all(bv, values, INT32.numpy_dtype)
+        ps = bv.scan_positions(
+            payload, desc, INT32.numpy_dtype, Predicate("c", "<=", 2)
+        )
+        assert sorted(ps.to_array().tolist()) == [0, 1, 3, 4]
+
+    def test_size_advantage_over_uncompressed_for_few_values(self):
+        # With 7 distinct values the bit-vector file should be roughly a
+        # quarter of a 4-byte uncompressed column (paper, Section 4.1).
+        rng = np.random.default_rng(5)
+        values = rng.integers(1, 8, size=500_000).astype(np.int32)
+        bv_bytes = sum(
+            len(p) for _d, p in encode_all(
+                encoding_by_name("bitvector"), values, INT32.numpy_dtype
+            )
+        )
+        un_bytes = sum(
+            len(p) for _d, p in encode_all(
+                encoding_by_name("uncompressed"), values, INT32.numpy_dtype
+            )
+        )
+        assert bv_bytes < 0.35 * un_bytes
+
+
+class TestScanPairs:
+    def test_pairs_match_positions_and_values(self, codec):
+        rng = np.random.default_rng(6)
+        values = rng.integers(0, 9, size=40_000).astype(np.int32)
+        pred = Predicate("c", "<", 4)
+        for desc, payload in encode_all(codec, values, INT32.numpy_dtype):
+            ps, vals = codec.scan_pairs(payload, desc, INT32.numpy_dtype, pred)
+            local = values[desc.start_pos : desc.end_pos]
+            expected_pos = np.nonzero(pred.mask(local))[0] + desc.start_pos
+            assert np.array_equal(ps.to_array(), expected_pos)
+            assert np.array_equal(np.sort(vals), np.sort(local[pred.mask(local)]))
+
+    def test_pairs_without_predicate(self, codec):
+        values = np.arange(100, dtype=np.int32)
+        (desc, payload), = encode_all(codec, values, INT32.numpy_dtype)
+        ps, vals = codec.scan_pairs(payload, desc, INT32.numpy_dtype, None)
+        assert ps.count() == 100
+        assert np.array_equal(vals, values)

@@ -1,0 +1,132 @@
+"""Property-based test: all four strategies compute identical answers.
+
+Hypothesis drives random predicates, encodings, and select lists over a
+randomly generated (but fixed-seed) projection; every applicable strategy
+must return the same multiset of result tuples as the vectorised reference.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, Predicate, SelectQuery, Strategy
+from repro.dtypes import INT32, ColumnSchema
+from repro.errors import UnsupportedOperationError
+
+from .reference import canonical, reference_select
+
+N_ROWS = 20_000
+
+
+@pytest.fixture(scope="module")
+def property_db(tmp_path_factory):
+    rng = np.random.default_rng(99)
+    root = tmp_path_factory.mktemp("prop_db")
+    db = Database(root)
+    a = np.sort(rng.integers(0, 200, size=N_ROWS)).astype(np.int32)
+    b = rng.integers(0, 12, size=N_ROWS).astype(np.int32)
+    c = rng.integers(-50, 50, size=N_ROWS).astype(np.int32)
+    db.catalog.create_projection(
+        "t",
+        {"a": a, "b": b, "c": c},
+        schemas={
+            "a": ColumnSchema("a", INT32),
+            "b": ColumnSchema("b", INT32),
+            "c": ColumnSchema("c", INT32),
+        },
+        sort_keys=["a"],
+        encodings={
+            "a": ["rle", "uncompressed"],
+            "b": ["uncompressed", "bitvector", "rle"],
+            "c": ["uncompressed"],
+        },
+        presorted=True,
+    )
+    return db
+
+
+predicate_st = st.builds(
+    Predicate,
+    st.sampled_from(["a", "b", "c"]),
+    st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+    st.integers(-60, 210),
+)
+
+
+@st.composite
+def queries(draw):
+    preds = draw(st.lists(predicate_st, min_size=0, max_size=3))
+    select = draw(
+        st.lists(st.sampled_from(["a", "b", "c"]), min_size=1, max_size=3,
+                 unique=True)
+    )
+    b_encoding = draw(st.sampled_from(["uncompressed", "bitvector", "rle"]))
+    return SelectQuery(
+        projection="t",
+        select=tuple(select),
+        predicates=tuple(preds),
+        encodings=(("b", b_encoding),),
+    )
+
+
+@given(queries())
+@settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_all_strategies_agree_with_reference(property_db, query):
+    projection = property_db.projection("t")
+    expected = canonical(
+        reference_select(projection, list(query.select), list(query.predicates))
+    )
+    ran = 0
+    for strategy in Strategy:
+        try:
+            result = property_db.query(query, strategy=strategy, cold=True)
+        except UnsupportedOperationError:
+            assert strategy is Strategy.LM_PIPELINED
+            continue
+        got = canonical(result.tuples.data)
+        assert np.array_equal(got, expected), (strategy, query)
+        ran += 1
+    assert ran >= 3
+
+
+@given(queries())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_warm_cache_equals_cold_cache(property_db, query):
+    cold = property_db.query(query, strategy=Strategy.LM_PARALLEL, cold=True)
+    warm = property_db.query(query, strategy=Strategy.LM_PARALLEL, cold=False)
+    assert np.array_equal(
+        canonical(cold.tuples.data), canonical(warm.tuples.data)
+    )
+    # The warm run must not read more blocks than the cold one did.
+    assert warm.stats.block_reads <= cold.stats.block_reads
+
+
+@given(queries())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_multicolumn_optimization_does_not_change_results(
+    property_db, tmp_path_factory, query
+):
+    with_mc = property_db.query(query, strategy=Strategy.LM_PARALLEL, cold=True)
+    property_db.use_multicolumns = False
+    try:
+        without_mc = property_db.query(
+            query, strategy=Strategy.LM_PARALLEL, cold=True
+        )
+    finally:
+        property_db.use_multicolumns = True
+    assert np.array_equal(
+        canonical(with_mc.tuples.data), canonical(without_mc.tuples.data)
+    )

@@ -1,0 +1,104 @@
+"""Tests for the TPC-H-style generator and loader."""
+
+import numpy as np
+import pytest
+
+from repro.tpch import (
+    SHIPDATE_MAX,
+    SHIPDATE_MIN,
+    generate_customer,
+    generate_lineitem,
+    generate_orders,
+    lineitem_rows_for_scale,
+)
+
+from .reference import full_column
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_lineitem(5000, seed=1)
+        b = generate_lineitem(5000, seed=1)
+        assert np.array_equal(a.shipdate, b.shipdate)
+        assert np.array_equal(a.linenum, b.linenum)
+
+    def test_seed_changes_data(self):
+        a = generate_lineitem(5000, seed=1)
+        b = generate_lineitem(5000, seed=2)
+        assert not np.array_equal(a.shipdate, b.shipdate)
+
+    def test_domains(self):
+        li = generate_lineitem(20_000, seed=3)
+        assert li.shipdate.min() >= SHIPDATE_MIN
+        assert li.shipdate.max() <= SHIPDATE_MAX
+        assert set(np.unique(li.linenum)) == set(range(1, 8))
+        assert li.quantity.min() >= 1 and li.quantity.max() <= 50
+        assert set(np.unique(li.returnflag)) <= {0, 1, 2}
+
+    def test_linenum_frequencies_decrease(self):
+        li = generate_lineitem(100_000, seed=4)
+        counts = np.bincount(li.linenum, minlength=8)[1:8]
+        assert np.all(np.diff(counts) < 0)
+
+    def test_orders_sorted_by_shipdate(self):
+        o = generate_orders(10_000, 1_000, seed=5)
+        assert np.all(np.diff(o.shipdate) >= 0)
+        assert o.custkey.min() >= 1 and o.custkey.max() <= 1_000
+
+    def test_customer_pk_dense(self):
+        c = generate_customer(500, seed=6)
+        assert np.array_equal(c.custkey, np.arange(1, 501))
+        assert c.nationcode.min() >= 0 and c.nationcode.max() < 25
+
+
+class TestLoader:
+    def test_scale_rows(self):
+        assert lineitem_rows_for_scale(10) == 60_000_000
+        assert lineitem_rows_for_scale(0.001) == 6_000
+        assert lineitem_rows_for_scale(0) == 1
+
+    def test_projections_present(self, tpch_db):
+        assert tpch_db.catalog.names() == ["customer", "lineitem", "orders"]
+
+    def test_cardinality_ratios(self, tpch_db):
+        n_l = tpch_db.projection("lineitem").n_rows
+        n_o = tpch_db.projection("orders").n_rows
+        n_c = tpch_db.projection("customer").n_rows
+        assert n_o == n_l // 4
+        assert n_c == n_o // 10
+
+    def test_lineitem_sort_order(self, tpch_db):
+        li = tpch_db.projection("lineitem")
+        flag = full_column(li, "returnflag").astype(np.int64)
+        ship = full_column(li, "shipdate").astype(np.int64)
+        lin = full_column(li, "linenum").astype(np.int64)
+        key = (flag * 10**9 + ship) * 10 + lin
+        assert np.all(np.diff(key) >= 0)
+
+    def test_linenum_stored_redundantly(self, tpch_db):
+        li = tpch_db.projection("lineitem")
+        assert li.column("linenum").encodings == [
+            "bitvector",
+            "rle",
+            "uncompressed",
+        ]
+        a = full_column(li, "linenum", "uncompressed")
+        b = full_column(li, "linenum", "rle")
+        c = full_column(li, "linenum", "bitvector")
+        assert np.array_equal(a, b)
+        assert np.array_equal(a, c)
+
+    def test_rle_compression_effective_on_sorted_prefix(self, tpch_db):
+        li = tpch_db.projection("lineitem")
+        shipdate = li.column("shipdate").file("rle")
+        # The sorted prefix makes average run length substantially > 1.
+        assert shipdate.avg_run_length > 1.2
+        returnflag = li.column("returnflag").file("rle")
+        assert returnflag.total_runs == 3
+
+    def test_fk_integrity(self, tpch_db):
+        orders = tpch_db.projection("orders")
+        customer = tpch_db.projection("customer")
+        custkeys = full_column(orders, "custkey")
+        assert custkeys.min() >= 1
+        assert custkeys.max() <= customer.n_rows
