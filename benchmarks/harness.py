@@ -167,6 +167,23 @@ def record(name: str, text: str, table: dict | None = None) -> None:
     print(f"\n{text}\n[written to {path}]")
 
 
+def record_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark summary under benchmarks/results/.
+
+    Written as ``{name}.json`` with sorted keys and a trailing newline so CI
+    artifacts diff cleanly run-over-run.
+    """
+    import json
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"[written to {path}]")
+    return path
+
+
 def crossover(table: dict, a: str, b: str, metric: int = 2):
     """First selectivity at which series *a* stops beating series *b*."""
     for (sel, *_), row_a, row_b in zip(

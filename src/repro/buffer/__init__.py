@@ -8,7 +8,8 @@ assumed. This is the substitution that keeps the paper's I/O trade-offs
 visible at laptop scale (see DESIGN.md section 2).
 """
 
+from .decoded import DecodedBlockCache
 from .disk import DiskModel
 from .pool import BufferPool
 
-__all__ = ["DiskModel", "BufferPool"]
+__all__ = ["DiskModel", "BufferPool", "DecodedBlockCache"]

@@ -1,0 +1,161 @@
+"""Decoded-block cache: the second level of the scan fast-path.
+
+The raw :class:`~repro.buffer.pool.BufferPool` caches *encoded* block
+payloads and owns all I/O accounting. This layer sits above it and caches
+the CPU-expensive products of a payload — the decoded value array
+(``Encoding.decode``) and, for run-length data, the parsed run table
+(``Encoding.runs``) — so warm scans and DS3 gathers skip the decode kernel
+entirely. Entries are keyed by ``(path, block, dtype, encoding, kind)``;
+column files are immutable until a projection is replaced, at which point
+:meth:`~repro.engine.Database.clear_cache` drops both layers together.
+
+The cache never touches the disk model: callers fetch the raw payload
+through the buffer pool first (keeping ``block_reads`` / ``disk_seeks`` /
+``buffer_hits`` identical with the cache on or off) and only then ask this
+layer for the decoded form. The only observable accounting difference is the
+pair of new :class:`~repro.metrics.QueryStats` counters ``decode_hits`` /
+``decode_misses``, which do not feed the simulated-time replay.
+
+Eviction is byte-budgeted LRU, coordinated with the raw pool: under
+pressure the cache first looks (a bounded distance) down its LRU order for
+an entry whose raw bytes have already left the buffer pool — a block the
+lower layer has given up on is the cheapest one to re-derive later — and
+only then falls back to strict LRU. All operations are thread-safe; decode
+work itself runs outside the lock so concurrent column scans do not
+serialize on the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from itertools import islice
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..metrics import QueryStats
+from .pool import BufferPool
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..storage.block import BlockDescriptor
+    from ..storage.column_file import ColumnFile
+
+DEFAULT_DECODED_CAPACITY_BYTES = 128 * 1024 * 1024
+
+#: How far down the LRU order the evictor searches for an entry whose raw
+#: payload is no longer pool-resident before falling back to strict LRU.
+_EVICTION_SCAN_LIMIT = 8
+
+
+class DecodedBlockCache:
+    """Byte-bounded LRU cache of decoded block value arrays and run tables."""
+
+    def __init__(
+        self,
+        capacity_bytes: int = DEFAULT_DECODED_CAPACITY_BYTES,
+        pool: BufferPool | None = None,
+    ):
+        self.capacity_bytes = capacity_bytes
+        self.pool = pool
+        self._cache: OrderedDict[tuple, tuple] = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _key(
+        column_file: "ColumnFile", index: int, kind: str
+    ) -> tuple[str, int, str, str, str]:
+        return (
+            str(column_file.path),
+            index,
+            column_file.dtype.str,
+            column_file.encoding.name,
+            kind,
+        )
+
+    def values(
+        self,
+        column_file: "ColumnFile",
+        desc: "BlockDescriptor",
+        payload: bytes,
+        stats: QueryStats,
+    ) -> np.ndarray:
+        """The block's decoded value array, decoding through on a miss."""
+        key = self._key(column_file, desc.index, "values")
+        cached = self._lookup(key, stats)
+        if cached is not None:
+            return cached[0]
+        values = column_file.encoding.decode(payload, desc, column_file.dtype)
+        values.setflags(write=False)
+        self._insert(key, (values,), values.nbytes, stats)
+        return values
+
+    def runs(
+        self,
+        column_file: "ColumnFile",
+        desc: "BlockDescriptor",
+        payload: bytes,
+        stats: QueryStats,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The block's ``(values, starts, lengths)`` run table (RLE data)."""
+        key = self._key(column_file, desc.index, "runs")
+        cached = self._lookup(key, stats)
+        if cached is not None:
+            return cached
+        table = column_file.encoding.runs(payload, desc, column_file.dtype)
+        for arr in table:
+            arr.setflags(write=False)
+        self._insert(key, table, sum(a.nbytes for a in table), stats)
+        return table
+
+    def _lookup(self, key: tuple, stats: QueryStats):
+        with self._lock:
+            entry = self._cache.get(key)
+            if entry is None:
+                return None
+            self._cache.move_to_end(key)
+            self.hits += 1
+            stats.decode_hits += 1
+            return entry[0]
+
+    def _insert(
+        self, key: tuple, value: tuple, nbytes: int, stats: QueryStats
+    ) -> None:
+        stats.decode_misses += 1
+        with self._lock:
+            self.misses += 1
+            if key in self._cache:  # another thread decoded it concurrently
+                return
+            self._cache[key] = (value, nbytes)
+            self._bytes += nbytes
+            while self._bytes > self.capacity_bytes and len(self._cache) > 1:
+                self._evict_one()
+
+    def _evict_one(self) -> None:
+        victim = None
+        if self.pool is not None:
+            for key in islice(self._cache, _EVICTION_SCAN_LIMIT):
+                if not self.pool.contains(key[0], key[1]):
+                    victim = key
+                    break
+        if victim is not None:
+            _entry, nbytes = self._cache.pop(victim)
+        else:
+            _key, (_entry, nbytes) = self._cache.popitem(last=False)
+        self._bytes -= nbytes
+
+    def clear(self) -> None:
+        """Drop every cached decode product (file replacement, cold runs)."""
+        with self._lock:
+            self._cache.clear()
+            self._bytes = 0
+
+    @property
+    def resident_bytes(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._cache)

@@ -5,10 +5,17 @@ The pool caches raw (still-encoded) block payloads keyed by
 disk model, and prefetches the next ``PF - 1`` blocks of the same file under
 the same seek — matching the ``|C|/PF * SEEK + |C| * READ`` I/O formula. A hit
 increments ``buffer_hits``; the hit fraction is the model's ``F``.
+
+The pool is thread-safe: the concurrent scan scheduler runs independent
+column scans from worker threads, and every cache/disk-model mutation happens
+under one reentrant lock. Callers pass their own per-thread
+:class:`~repro.metrics.QueryStats`, so counter accumulation itself never
+races.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
@@ -34,21 +41,31 @@ class BufferPool:
         self._cache: OrderedDict[tuple[str, int], bytes] = OrderedDict()
         self._bytes = 0
         self._last_read_index: dict[str, int] = {}
+        # Per-path resident block counts, so resident_fraction is O(1)
+        # instead of a linear scan over the whole cache.
+        self._resident_counts: dict[str, int] = {}
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
 
     def get(self, column_file: "ColumnFile", index: int, stats: QueryStats) -> bytes:
         """Return the payload of block *index*, reading through on a miss."""
         key = (str(column_file.path), index)
-        payload = self._cache.get(key)
-        if payload is not None:
-            self._cache.move_to_end(key)
-            self.hits += 1
-            stats.buffer_hits += 1
-            return payload
-        self.misses += 1
-        self._fault(column_file, index, stats)
-        return self._cache[key]
+        with self._lock:
+            payload = self._cache.get(key)
+            if payload is not None:
+                self._cache.move_to_end(key)
+                self.hits += 1
+                stats.buffer_hits += 1
+                return payload
+            self.misses += 1
+            self._fault(column_file, index, stats)
+            return self._cache[key]
+
+    def contains(self, path: str, index: int) -> bool:
+        """True when block *index* of *path* is resident (no LRU touch)."""
+        with self._lock:
+            return (path, index) in self._cache
 
     def _fault(self, column_file: "ColumnFile", index: int, stats: QueryStats) -> None:
         """Read block *index* (plus prefetch window) into the pool."""
@@ -61,6 +78,11 @@ class BufferPool:
         for i, block_index in enumerate(window):
             key = (path, block_index)
             if key in self._cache:
+                # The head still rides past a resident mid-window block, so
+                # the next fault after it remains sequential. Without this
+                # the following fault is misclassified and overcharges a
+                # SEEK the model never intended.
+                self._last_read_index[path] = block_index
                 continue
             payload = column_file.read_payload(block_index)
             # Only the first block of the window can pay a seek; the rest of
@@ -72,23 +94,31 @@ class BufferPool:
     def _insert(self, key: tuple[str, int], payload: bytes) -> None:
         self._cache[key] = payload
         self._bytes += len(payload)
+        self._resident_counts[key[0]] = self._resident_counts.get(key[0], 0) + 1
         while self._bytes > self.capacity_bytes and len(self._cache) > 1:
-            _evicted_key, evicted = self._cache.popitem(last=False)
+            evicted_key, evicted = self._cache.popitem(last=False)
             self._bytes -= len(evicted)
+            remaining = self._resident_counts[evicted_key[0]] - 1
+            if remaining:
+                self._resident_counts[evicted_key[0]] = remaining
+            else:
+                del self._resident_counts[evicted_key[0]]
 
     def resident_fraction(self, column_file: "ColumnFile") -> float:
         """The model's F for one column: fraction of its blocks in the pool."""
         if column_file.n_blocks == 0:
             return 1.0
-        path = str(column_file.path)
-        resident = sum(1 for (p, _i) in self._cache if p == path)
+        with self._lock:
+            resident = self._resident_counts.get(str(column_file.path), 0)
         return resident / column_file.n_blocks
 
     def clear(self) -> None:
         """Drop all cached blocks (simulates a cold buffer cache)."""
-        self._cache.clear()
-        self._bytes = 0
-        self._last_read_index.clear()
+        with self._lock:
+            self._cache.clear()
+            self._bytes = 0
+            self._last_read_index.clear()
+            self._resident_counts.clear()
 
     @property
     def resident_bytes(self) -> int:

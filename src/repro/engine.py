@@ -29,7 +29,8 @@ import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from .buffer import BufferPool, DiskModel
+from .buffer import BufferPool, DecodedBlockCache, DiskModel
+from .buffer.decoded import DEFAULT_DECODED_CAPACITY_BYTES
 from .delta import (
     DeltaStore,
     delta_aggregate,
@@ -93,6 +94,10 @@ class QueryResult:
                 f"{stats.blocks_skipped} blocks skipped"
             ),
             (
+                f"decode cache   {stats.decode_hits} hits, "
+                f"{stats.decode_misses} misses"
+            ),
+            (
                 f"CPU            {stats.values_scanned} values scanned, "
                 f"{stats.tuples_constructed} tuples constructed, "
                 f"{stats.positions_intersected} positions intersected"
@@ -133,10 +138,38 @@ class Database:
         use_multicolumns: bool = True,
         use_indexes: bool = True,
         decompress_eagerly: bool = False,
+        decoded_cache_bytes: int = DEFAULT_DECODED_CAPACITY_BYTES,
+        parallel_scans: int = 0,
     ):
+        """Open (or create) a database.
+
+        Args:
+            decoded_cache_bytes: byte budget for the decoded-block cache —
+                the scan fast-path's second level, holding decoded value
+                arrays and RLE run tables above the raw payload pool. ``0``
+                disables it (every block access re-runs the decode kernel).
+                Neither setting changes ``QueryStats`` cost counters or
+                simulated time, only wall-clock.
+            parallel_scans: worker threads for the independent scan leaves
+                of the EM-parallel / LM-parallel strategies. ``0`` (default)
+                keeps execution strictly serial. Counters merge
+                deterministically, so results and simulated costs are
+                identical to serial execution.
+        """
         self.catalog = Catalog(root)
         self.disk = disk if disk is not None else DiskModel()
         self.pool = BufferPool(pool_capacity_bytes, self.disk)
+        self.decoded = (
+            DecodedBlockCache(decoded_cache_bytes, pool=self.pool)
+            if decoded_cache_bytes > 0
+            else None
+        )
+        if parallel_scans > 0:
+            from .operators.scheduler import ScanScheduler
+
+            self.scheduler: ScanScheduler | None = ScanScheduler(parallel_scans)
+        else:
+            self.scheduler = None
         self.constants = constants
         self.use_multicolumns = use_multicolumns
         self.use_indexes = use_indexes
@@ -154,8 +187,21 @@ class Database:
         self.clear_cache()
 
     def clear_cache(self) -> None:
-        """Drop the buffer pool (queries start from a cold cache)."""
+        """Drop both cache levels (queries start from a cold cache)."""
         self.pool.clear()
+        if self.decoded is not None:
+            self.decoded.clear()
+
+    def close(self) -> None:
+        """Release the scan scheduler's worker threads (idempotent)."""
+        if self.scheduler is not None:
+            self.scheduler.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def _context(self, trace: bool = False) -> ExecutionContext:
         return ExecutionContext(
@@ -164,6 +210,8 @@ class Database:
             use_multicolumns=self.use_multicolumns,
             use_indexes=self.use_indexes,
             decompress_eagerly=self.decompress_eagerly,
+            decoded=self.decoded,
+            scheduler=self.scheduler,
             trace=[] if trace else None,
         )
 

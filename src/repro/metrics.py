@@ -33,11 +33,16 @@ class QueryStats:
     * ``positions_intersected`` — position-list elements consumed by AND.
     * ``tuples_output`` — tuples handed to the query consumer.
     * ``blocks_skipped`` — blocks pruned via min/max or position coverage.
+    * ``decode_hits`` / ``decode_misses`` — decoded-block cache hits and
+      decode kernel invocations (the scan fast-path; not a model term, so
+      neither feeds the simulated-time replay).
     """
 
     block_reads: int = 0
     disk_seeks: int = 0
     buffer_hits: int = 0
+    decode_hits: int = 0
+    decode_misses: int = 0
     block_iterations: int = 0
     column_iterations: int = 0
     tuple_iterations: int = 0

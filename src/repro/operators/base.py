@@ -3,13 +3,18 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Sequence
 
 import numpy as np
 
-from ..buffer import BufferPool
+from ..buffer import BufferPool, DecodedBlockCache
 from ..metrics import QueryStats
 from ..multicolumn import MiniColumn
+from ..storage.block import BlockDescriptor
 from ..storage.column_file import ColumnFile
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .scheduler import ScanScheduler
 
 
 @dataclass
@@ -33,6 +38,13 @@ class ExecutionContext:
     #: never work on compressed representations. Costs are charged per value
     #: instead of per run. Used by the selection-vectors ablation.
     decompress_eagerly: bool = False
+    #: Second cache level of the scan fast-path: decoded value arrays and RLE
+    #: run tables, shared across queries. None disables the fast path (every
+    #: block access re-runs the decode kernel, the pre-cache behaviour).
+    decoded: DecodedBlockCache | None = None
+    #: When set, the parallel strategies hand their independent scan leaves
+    #: to this scheduler instead of running them serially.
+    scheduler: "ScanScheduler | None" = None
     #: When not None, operators append (operator, detail) event tuples here
     #: in execution order — the observability hook behind
     #: ``Database.query(..., trace=True)``.
@@ -47,6 +59,91 @@ class ExecutionContext:
         """Fetch one block payload through the buffer pool, counting a BIC step."""
         self.stats.block_iterations += 1
         return self.pool.get(column_file, index, self.stats)
+
+    # ---------------------------------------------------- scan fast-path
+
+    def decode_payload(
+        self, column_file: ColumnFile, desc: BlockDescriptor, payload: bytes
+    ) -> np.ndarray:
+        """Decoded values of one block, served from the decoded cache if on.
+
+        The caller must have fetched *payload* through :meth:`read_block`
+        (or a mini-column pin of it) first, so I/O accounting is identical
+        whether or not the decode itself is skipped.
+        """
+        if self.decoded is None:
+            return column_file.encoding.decode(payload, desc, column_file.dtype)
+        return self.decoded.values(column_file, desc, payload, self.stats)
+
+    def decode_block(
+        self, column_file: ColumnFile, desc: BlockDescriptor
+    ) -> np.ndarray:
+        """Read one block through the pool and decode it (cached when warm)."""
+        payload = self.read_block(column_file, desc.index)
+        return self.decode_payload(column_file, desc, payload)
+
+    def run_table(
+        self, column_file: ColumnFile, desc: BlockDescriptor, payload: bytes
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One block's ``(values, starts, lengths)`` run view, cached when on."""
+        if self.decoded is None:
+            return column_file.encoding.runs(payload, desc, column_file.dtype)
+        return self.decoded.runs(column_file, desc, payload, self.stats)
+
+    def gather_block(
+        self,
+        column_file: ColumnFile,
+        desc: BlockDescriptor,
+        payload: bytes,
+        positions: np.ndarray,
+    ) -> np.ndarray:
+        """Values at sorted absolute *positions* (all within this block).
+
+        With the decoded cache on, run-length blocks jump through the cached
+        run table and every other encoding indexes the cached decoded array —
+        for bit-vector data this turns the per-gather full decompression into
+        a one-time cost.
+        """
+        encoding = column_file.encoding
+        if self.decoded is None:
+            return encoding.gather(payload, desc, column_file.dtype, positions)
+        if encoding.supports_runs:
+            values, starts, _lengths = self.run_table(column_file, desc, payload)
+            return values[np.searchsorted(starts, positions, side="right") - 1]
+        values = self.decode_payload(column_file, desc, payload)
+        return values[positions - desc.start_pos]
+
+    # ------------------------------------------------- parallel scan leaves
+
+    def leaf(self) -> "ExecutionContext":
+        """A child context for one concurrent scan leaf.
+
+        Shares the pool and decoded cache; gets private stats and trace (the
+        scheduler merges both back in task order) and no scheduler of its own
+        so leaves never nest.
+        """
+        return ExecutionContext(
+            pool=self.pool,
+            stats=QueryStats(),
+            use_multicolumns=self.use_multicolumns,
+            use_indexes=self.use_indexes,
+            decompress_eagerly=self.decompress_eagerly,
+            decoded=self.decoded,
+            scheduler=None,
+            trace=[] if self.trace is not None else None,
+        )
+
+    def map_leaves(
+        self, tasks: Sequence[Callable[["ExecutionContext"], object]]
+    ) -> list:
+        """Run independent scan leaves, concurrently when a scheduler is set.
+
+        Serial fallback executes the tasks in order against this context
+        itself, which is bit-identical to the pre-scheduler behaviour.
+        """
+        if self.scheduler is None or len(tasks) < 2:
+            return [task(self) for task in tasks]
+        return self.scheduler.run(self, tasks)
 
 
 def position_groups(positions) -> int:
@@ -107,7 +204,6 @@ def gather_values(
 
     out = np.empty(n, dtype=column_file.dtype)
     cursor = 0
-    encoding = column_file.encoding
     for desc in column_file.descriptors:
         if cursor >= n:
             break
@@ -123,7 +219,7 @@ def gather_values(
             stats.block_iterations += 1
         else:
             payload = ctx.read_block(column_file, desc.index)
-        out[cursor:hi] = encoding.gather(payload, desc, column_file.dtype, chunk)
+        out[cursor:hi] = ctx.gather_block(column_file, desc, payload, chunk)
         cursor = hi
 
     if order is not None:

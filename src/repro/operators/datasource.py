@@ -23,6 +23,7 @@ from ..positions import (
     ListedPositions,
     PositionSet,
     RangePositions,
+    from_mask,
     union_all,
 )
 from ..predicates import Predicate
@@ -158,9 +159,17 @@ class DS1Scan:
             stats.values_scanned += desc.n_values
             stats.column_iterations += steps
             stats.function_calls += steps  # predicate application per step
-            block_positions = cf.encoding.scan_positions(
-                payload, desc, cf.dtype, pred
-            )
+            if ctx.decoded is not None and cf.encoding.decoded_scan_equivalent:
+                # Scan fast-path: mask the cached decoded array. Produces the
+                # same positions in the same representation as the codec's
+                # own scan, but skips the per-block decode/expand kernel on
+                # every warm access.
+                values = ctx.decode_payload(cf, desc, payload)
+                block_positions = from_mask(desc.start_pos, pred.mask(values))
+            else:
+                block_positions = cf.encoding.scan_positions(
+                    payload, desc, cf.dtype, pred
+                )
             stats.function_calls += block_positions.count()  # emit matches
             parts.append(block_positions)
         positions = _concat_position_sets(parts, cf.n_values)
@@ -211,7 +220,21 @@ class DS2Scan:
             stats.values_scanned += desc.n_values
             stats.column_iterations += steps
             stats.function_calls += steps
-            positions, values = cf.encoding.scan_pairs(payload, desc, cf.dtype, pred)
+            if ctx.decoded is not None and cf.encoding.decoded_pairs_equivalent:
+                # Scan fast-path: pairs from the cached decoded array — one
+                # decode per block ever, instead of one per scan.
+                decoded = ctx.decode_payload(cf, desc, payload)
+                if pred is None:
+                    positions = RangePositions(desc.start_pos, desc.end_pos)
+                    values = decoded
+                else:
+                    mask = pred.mask(decoded)
+                    positions = from_mask(desc.start_pos, mask)
+                    values = decoded[mask]
+            else:
+                positions, values = cf.encoding.scan_pairs(
+                    payload, desc, cf.dtype, pred
+                )
             matched = len(values)
             # Gluing positions and values together costs TICTUP + FC per
             # surviving tuple (Case 2, step 5).
@@ -380,8 +403,9 @@ class SPCScan:
         self.predicates = predicates
         self.with_positions = with_positions
 
-    def _decode_full(self, cf: ColumnFile) -> np.ndarray:
-        ctx, stats = self.ctx, self.ctx.stats
+    @staticmethod
+    def _decode_full(ctx: ExecutionContext, cf: ColumnFile) -> np.ndarray:
+        stats = ctx.stats
         parts = []
         for desc in cf.descriptors:
             payload = ctx.read_block(cf, desc.index)
@@ -390,16 +414,23 @@ class SPCScan:
                 if ctx.decompress_eagerly
                 else cf.encoding.stats_run_count(payload, desc)
             )
-            parts.append(cf.encoding.decode(payload, desc, cf.dtype))
+            parts.append(ctx.decode_payload(cf, desc, payload))
         if not parts:
             return np.empty(0, dtype=cf.dtype)
         return np.concatenate(parts)
 
     def execute(self) -> TupleSet:
         stats = self.ctx.stats
-        decoded = {
-            name: self._decode_full(cf) for name, cf in self.column_files.items()
-        }
+        # The per-column full scans are SPC's independent leaves: no data
+        # dependencies, so the scheduler (when configured) overlaps them.
+        names = list(self.column_files)
+        arrays = self.ctx.map_leaves(
+            [
+                (lambda leaf_ctx, cf=cf: self._decode_full(leaf_ctx, cf))
+                for cf in self.column_files.values()
+            ]
+        )
+        decoded = dict(zip(names, arrays))
         preds_by_column: dict[str, list[Predicate]] = {}
         for pred in self.predicates:
             preds_by_column.setdefault(pred.column, []).append(pred)

@@ -1,0 +1,90 @@
+"""Concurrent scan scheduler for the parallel materialization strategies.
+
+The EM-parallel and LM-parallel plans (paper Figures 3/5) have leaves with no
+data dependencies: one full column scan per predicate (DS1) or per input
+column (SPC). The scheduler runs those leaves on a shared
+:class:`~concurrent.futures.ThreadPoolExecutor`; the numpy decode and
+predicate kernels release the GIL, so independent column scans genuinely
+overlap.
+
+Determinism contract: every leaf executes against its own fresh
+:class:`~repro.metrics.QueryStats` (and trace list), and the per-leaf results
+are merged into the parent context **in task-submission order** after the
+barrier. Since the leaves touch disjoint column files, the buffer pool's
+per-path miss/prefetch behaviour is independent of thread interleaving, and
+the merged counters — hence the simulated-time replay — are identical to a
+serial run of the same plan whenever the pool is large enough that leaves do
+not evict one another's blocks mid-query.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable, Sequence
+
+from ..metrics import QueryStats
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .base import ExecutionContext
+
+
+class ScanScheduler:
+    """Runs independent scan leaves on a bounded worker pool."""
+
+    def __init__(self, max_workers: int):
+        if max_workers < 1:
+            raise ValueError("ScanScheduler needs at least one worker")
+        self.max_workers = max_workers
+        self._executor: ThreadPoolExecutor | None = None
+        self._lock = threading.Lock()
+
+    def _pool(self) -> ThreadPoolExecutor:
+        with self._lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-scan",
+                )
+            return self._executor
+
+    def run(
+        self,
+        parent: "ExecutionContext",
+        tasks: Sequence[Callable[["ExecutionContext"], object]],
+    ) -> list:
+        """Execute *tasks* concurrently; results come back in task order.
+
+        Each task receives a leaf context sharing the parent's pool and
+        decoded cache but with private stats/trace, merged back
+        deterministically after all leaves finish.
+        """
+        leaves = [parent.leaf() for _ in tasks]
+        executor = self._pool()
+        futures = [
+            executor.submit(task, leaf) for task, leaf in zip(tasks, leaves)
+        ]
+        results: list = []
+        error: BaseException | None = None
+        for future in futures:  # barrier: wait for every leaf
+            try:
+                results.append(future.result())
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                results.append(None)
+                if error is None:
+                    error = exc
+        # Deterministic merge: task order, never completion order.
+        for leaf in leaves:
+            parent.stats.merge(leaf.stats)
+            if parent.trace is not None and leaf.trace:
+                parent.trace.extend(leaf.trace)
+        if error is not None:
+            raise error
+        return results
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        with self._lock:
+            if self._executor is not None:
+                self._executor.shutdown(wait=True)
+                self._executor = None

@@ -235,9 +235,7 @@ def _rle_group_runs(
             stats.block_iterations += 1
         else:
             payload = ctx.read_block(column_file, desc.index)
-        values, starts, _lengths = column_file.encoding.runs(
-            payload, desc, column_file.dtype
-        )
+        values, starts, _lengths = ctx.run_table(column_file, desc, payload)
         chunk = positions[cursor:hi]
         local = np.searchsorted(starts, chunk, side="right") - 1
         run_value_parts.append(values)
@@ -313,11 +311,25 @@ def _lm_parallel(
     query: SelectQuery,
 ) -> TupleSet:
     minicolumns: dict[str, MiniColumn] = {}
+    # Independent DS1 leaves — one per predicate column, no data
+    # dependencies (paper Figure 5) — run concurrently when the context has
+    # a scan scheduler; results are consumed in plan order either way.
+    items = list(col_preds.items())
+    results = ctx.map_leaves(
+        [
+            (
+                lambda leaf_ctx, col=col, pred=pred: DS1Scan(
+                    leaf_ctx,
+                    files[col],
+                    pred,
+                    index=projection.column(col).index,
+                ).execute()
+            )
+            for col, pred in items
+        ]
+    )
     position_sets = []
-    for col, pred in col_preds.items():
-        result = DS1Scan(
-            ctx, files[col], pred, index=projection.column(col).index
-        ).execute()
+    for (col, _pred), result in zip(items, results):
         position_sets.append(result.positions)
         if result.minicolumn is not None:
             minicolumns[col] = result.minicolumn

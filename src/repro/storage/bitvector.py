@@ -56,6 +56,9 @@ class BitVectorEncoding(Encoding):
     name = "bitvector"
     supports_position_filtering = False
     supports_runs = False
+    # DS1 answers straight from the bit-strings (no decode, bitmap output);
+    # masking a decoded array would be slower and change the representation.
+    decoded_scan_equivalent = False
 
     def encode(
         self, values: np.ndarray, dtype: np.dtype, start_pos: int = 0

@@ -52,6 +52,20 @@ class Encoding(ABC):
     #: contiguous position range) for direct operation on compressed data.
     supports_runs: bool = False
 
+    #: True when ``scan_positions`` is observably equivalent to
+    #: ``from_mask(desc.start_pos, predicate.mask(decode(...)))`` — same
+    #: member positions *and* same physical representation chosen. The
+    #: decoded-block cache may then serve DS1 scans from cached value
+    #: arrays. Bit-vector encoding sets this False: its scans answer
+    #: directly in bitmap form without decoding, which is both cheaper than
+    #: the decoded path and a different representation.
+    decoded_scan_equivalent: bool = True
+
+    #: Same contract for ``scan_pairs``. The base implementation below *is*
+    #: decode-then-mask, so this defaults True; an override with different
+    #: observable behaviour must set it False.
+    decoded_pairs_equivalent: bool = True
+
     @abstractmethod
     def encode(
         self, values: np.ndarray, dtype: np.dtype, start_pos: int = 0

@@ -110,3 +110,64 @@ class TestBufferPool:
         assert len(pool) == 0
         pool.get(column, 0, stats)
         assert stats.block_reads == 2
+
+    def test_prefetch_over_resident_block_stays_sequential(self, column):
+        """A resident block inside the prefetch window must still advance the
+        head position; otherwise the next fault is misclassified as random
+        and overcharges a SEEK the model never intended."""
+        pool = BufferPool(disk=DiskModel(prefetch_blocks=1))
+        stats = QueryStats()
+        pool.get(column, 2, stats)  # seek + read; block 2 now resident
+        pool.disk.prefetch_blocks = 3
+        # Faulting block 0 prefetches 0..2; block 2 is already resident, so
+        # only two reads happen, but the head still ends up past block 2.
+        pool.get(column, 0, stats)
+        assert stats.block_reads == 3
+        assert stats.disk_seeks == 2
+        # The next fault continues the sequential run: its window (3..5)
+        # reads three more blocks under the same head position, no seek.
+        pool.get(column, 3, stats)
+        assert stats.block_reads == 6
+        assert stats.disk_seeks == 2
+
+    def test_resident_fraction_partial_and_after_eviction(self, column):
+        pool = BufferPool()
+        stats = QueryStats()
+        pool.get(column, 0, stats)
+        pool.get(column, 3, stats)
+        assert pool.resident_fraction(column) == 2 / column.n_blocks
+        # Per-path counts track evictions too: squeeze the pool and check
+        # the counter agrees with the actual cache contents.
+        block_size = len(column.read_payload(0))
+        small = BufferPool(capacity_bytes=2 * block_size)
+        for i in range(column.n_blocks):
+            small.get(column, i, stats)
+        assert small.resident_fraction(column) == len(small) / column.n_blocks
+
+    def test_resident_fraction_distinguishes_paths(self, column, tmp_path):
+        other = write_column(
+            tmp_path / "d.col",
+            np.arange(50_000, dtype=np.int32),
+            INT32,
+            encoding_by_name("uncompressed"),
+        )
+        pool = BufferPool()
+        stats = QueryStats()
+        for i in range(column.n_blocks):
+            pool.get(column, i, stats)
+        assert pool.resident_fraction(column) == 1.0
+        assert pool.resident_fraction(other) == 0.0
+
+    def test_contains_does_not_touch_lru(self, column):
+        block_size = len(column.read_payload(0))
+        pool = BufferPool(capacity_bytes=2 * block_size)
+        stats = QueryStats()
+        pool.get(column, 0, stats)
+        pool.get(column, 1, stats)
+        assert pool.contains(str(column.path), 0)
+        assert not pool.contains(str(column.path), 5)
+        # contains() must not refresh block 0, so block 0 (LRU-first) is
+        # still the one evicted when block 2 arrives.
+        pool.get(column, 2, stats)
+        assert not pool.contains(str(column.path), 0)
+        assert pool.contains(str(column.path), 1)

@@ -1,0 +1,177 @@
+"""Unit tests for the decoded-block cache (scan fast-path, level 2)."""
+
+import numpy as np
+import pytest
+
+from repro import Database, Predicate, SelectQuery
+from repro.buffer import BufferPool, DecodedBlockCache, DiskModel
+from repro.dtypes import INT32
+from repro.metrics import QueryStats
+from repro.storage import encoding_by_name, write_column
+from repro.tpch.generator import SHIPDATE_MAX, SHIPDATE_MIN
+
+
+@pytest.fixture
+def column(tmp_path):
+    values = np.arange(100_000, dtype=np.int32)  # 7 uncompressed blocks
+    return write_column(
+        tmp_path / "c.col", values, INT32, encoding_by_name("uncompressed")
+    )
+
+
+@pytest.fixture
+def rle_column(tmp_path):
+    values = np.repeat(np.arange(5_000, dtype=np.int32), 8)
+    return write_column(
+        tmp_path / "r.col", values, INT32, encoding_by_name("rle")
+    )
+
+
+def _payload(column, index):
+    return column.read_payload(index)
+
+
+class TestDecodedBlockCache:
+    def test_miss_then_hit_returns_same_array(self, column):
+        cache = DecodedBlockCache()
+        stats = QueryStats()
+        desc = column.descriptors[0]
+        first = cache.values(column, desc, _payload(column, 0), stats)
+        assert stats.decode_misses == 1 and stats.decode_hits == 0
+        second = cache.values(column, desc, _payload(column, 0), stats)
+        assert second is first  # served from cache, not re-decoded
+        assert stats.decode_hits == 1
+        np.testing.assert_array_equal(
+            first, np.arange(desc.start_pos, desc.end_pos, dtype=np.int32)
+        )
+
+    def test_cached_arrays_are_read_only(self, column):
+        cache = DecodedBlockCache()
+        stats = QueryStats()
+        desc = column.descriptors[0]
+        values = cache.values(column, desc, _payload(column, 0), stats)
+        with pytest.raises(ValueError):
+            values[0] = 99
+
+    def test_run_tables_cached_separately_from_values(self, rle_column):
+        cache = DecodedBlockCache()
+        stats = QueryStats()
+        desc = rle_column.descriptors[0]
+        payload = _payload(rle_column, 0)
+        table = cache.runs(rle_column, desc, payload, stats)
+        values = cache.values(rle_column, desc, payload, stats)
+        assert stats.decode_misses == 2  # distinct kinds, distinct entries
+        assert cache.runs(rle_column, desc, payload, stats) is table
+        assert cache.values(rle_column, desc, payload, stats) is values
+        assert stats.decode_hits == 2
+        run_values, starts, lengths = table
+        assert lengths.sum() == desc.n_values
+        np.testing.assert_array_equal(np.repeat(run_values, lengths), values)
+
+    def test_eviction_under_byte_pressure(self, column):
+        stats = QueryStats()
+        one_block = len(
+            DecodedBlockCache().values(
+                column, column.descriptors[0], _payload(column, 0), stats
+            ).tobytes()
+        )
+        cache = DecodedBlockCache(capacity_bytes=2 * one_block)
+        stats = QueryStats()
+        for i in range(4):
+            cache.values(column, column.descriptors[i], _payload(column, i), stats)
+        assert len(cache) == 2
+        assert cache.resident_bytes <= 2 * one_block
+        # The two most recent blocks survived; the oldest was evicted.
+        cache.values(column, column.descriptors[3], _payload(column, 3), stats)
+        assert stats.decode_hits == 1
+        cache.values(column, column.descriptors[0], _payload(column, 0), stats)
+        assert stats.decode_misses == 5
+
+    def test_eviction_prefers_blocks_the_pool_dropped(self, column):
+        """Under pressure the cache first evicts an entry whose raw payload
+        already left the buffer pool, even when it is not LRU-first."""
+        block_size = len(_payload(column, 0))
+        pool = BufferPool(capacity_bytes=2 * block_size, disk=DiskModel())
+        stats = QueryStats()
+        # Pool ends up holding raw blocks {2, 3}; block 0 has been evicted.
+        for i in (0, 2, 3):
+            pool.get(column, i, stats)
+        assert not pool.contains(str(column.path), 0)
+        decoded_size = column.descriptors[0].n_values * 4
+        cache = DecodedBlockCache(capacity_bytes=2 * decoded_size, pool=pool)
+        cache.values(column, column.descriptors[2], _payload(column, 2), stats)
+        cache.values(column, column.descriptors[0], _payload(column, 0), stats)
+        # Inserting block 3 forces an eviction. Strict LRU would drop block 2
+        # (oldest), but block 2's raw bytes are still pool-resident while
+        # block 0's are gone — so block 0 goes first.
+        cache.values(column, column.descriptors[3], _payload(column, 3), stats)
+        before = stats.decode_hits
+        cache.values(column, column.descriptors[2], _payload(column, 2), stats)
+        assert stats.decode_hits == before + 1  # block 2 survived
+        misses = stats.decode_misses
+        cache.values(column, column.descriptors[0], _payload(column, 0), stats)
+        assert stats.decode_misses == misses + 1  # block 0 was the victim
+
+    def test_clear(self, column):
+        cache = DecodedBlockCache()
+        stats = QueryStats()
+        cache.values(column, column.descriptors[0], _payload(column, 0), stats)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.resident_bytes == 0
+
+
+class TestEngineIntegration:
+    """The cache is a wall-clock optimisation only: same rows, same model."""
+
+    QUERY = SelectQuery(
+        projection="lineitem",
+        select=("shipdate", "linenum"),
+        predicates=(
+            Predicate(
+                "shipdate",
+                "<",
+                int(SHIPDATE_MIN + 0.1 * (SHIPDATE_MAX + 1 - SHIPDATE_MIN)),
+            ),
+            Predicate("linenum", "<", 7),
+        ),
+        encodings=(("linenum", "rle"),),
+    )
+
+    @pytest.mark.parametrize(
+        "strategy", ("em-pipelined", "em-parallel", "lm-parallel")
+    )
+    def test_identical_to_uncached_execution(self, tpch_db, strategy):
+        root = tpch_db.catalog.root
+        plain = Database(root, decoded_cache_bytes=0)
+        cached = Database(root)
+        results = {}
+        for name, db in (("plain", plain), ("cached", cached)):
+            db.query(self.QUERY, strategy=strategy)  # populate caches
+            results[name] = db.query(self.QUERY, strategy=strategy)
+        assert results["cached"].rows() == results["plain"].rows()
+        assert results["cached"].simulated_ms == results["plain"].simulated_ms
+        plain_stats = results["plain"].stats.as_dict()
+        cached_stats = results["cached"].stats.as_dict()
+        assert cached_stats.pop("decode_hits") > 0
+        assert cached_stats.pop("decode_misses") == 0
+        for key in ("decode_hits", "decode_misses"):
+            plain_stats.pop(key)
+        assert cached_stats == plain_stats
+
+    def test_clear_cache_drops_decoded_layer(self, tpch_db):
+        root = tpch_db.catalog.root
+        db = Database(root)
+        db.query(self.QUERY)
+        assert len(db.decoded) > 0
+        db.clear_cache()
+        assert len(db.decoded) == 0
+        assert len(db.pool) == 0
+
+    def test_zero_budget_disables_cache(self, tpch_db):
+        db = Database(tpch_db.catalog.root, decoded_cache_bytes=0)
+        assert db.decoded is None
+        db.query(self.QUERY)
+        result = db.query(self.QUERY)
+        assert result.stats.decode_hits == 0
+        assert result.stats.decode_misses == 0
