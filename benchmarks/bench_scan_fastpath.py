@@ -179,3 +179,50 @@ def test_fastpath_speedup(fastpath_table):
     record_json("BENCH_scan_fastpath", payload)
     best = max(speedups.values())
     assert best >= HEADLINE_SPEEDUP, speedups
+
+
+#: Acceptance bar for the observability layer: span tracing must cost less
+#: than 10% warm wall-clock versus the untraced hot path.
+TRACING_OVERHEAD_LIMIT = 1.10
+
+
+def test_tracing_overhead(bench_db):
+    """EXPLAIN ANALYZE instrumentation stays under the 10% overhead bar.
+
+    Sums best-of-N warm wall times across every cell with tracing off and
+    on; summing first (rather than asserting per cell) keeps the check
+    robust to single-cell scheduler noise while still bounding the total
+    cost a ``trace=True`` sweep pays.
+    """
+    root = bench_db.catalog.root
+    totals = {False: 0.0, True: 0.0}
+    per_cell = {}
+    with Database(root) as db:
+        for encoding, strategy in CELLS:
+            query = selection_query(SELECTIVITY, encoding)
+            db.query(query, strategy=strategy)  # warm both cache levels
+            cell = {}
+            for traced in (False, True):
+                best = float("inf")
+                for _ in range(WARM_REPEATS):
+                    t0 = time.perf_counter()
+                    db.query(query, strategy=strategy, trace=traced)
+                    best = min(best, (time.perf_counter() - t0) * 1000.0)
+                totals[traced] += best
+                cell["traced_ms" if traced else "untraced_ms"] = round(best, 4)
+            per_cell[f"{encoding}/{strategy}"] = cell
+    ratio = totals[True] / totals[False]
+    record_json(
+        "BENCH_tracing_overhead",
+        {
+            "untraced_total_ms": round(totals[False], 3),
+            "traced_total_ms": round(totals[True], 3),
+            "overhead_ratio": round(ratio, 4),
+            "limit": TRACING_OVERHEAD_LIMIT,
+            "cells": per_cell,
+        },
+    )
+    assert ratio < TRACING_OVERHEAD_LIMIT, (
+        f"tracing overhead {ratio:.3f}x exceeds "
+        f"{TRACING_OVERHEAD_LIMIT:.2f}x: {per_cell}"
+    )

@@ -167,15 +167,22 @@ def record(name: str, text: str, table: dict | None = None) -> None:
     print(f"\n{text}\n[written to {path}]")
 
 
-def record_json(name: str, payload: dict) -> Path:
+def record_json(name: str, payload: dict, registry=None) -> Path:
     """Persist a machine-readable benchmark summary under benchmarks/results/.
 
     Written as ``{name}.json`` with sorted keys and a trailing newline so CI
-    artifacts diff cleanly run-over-run.
+    artifacts diff cleanly run-over-run. A metrics-registry snapshot (the
+    process-wide :data:`repro.metrics.REGISTRY` unless *registry* is given)
+    is attached under ``"metrics"``, so every benchmark artifact records the
+    query counts, latency histograms and cache states behind its numbers.
     """
     import json
 
+    from repro.metrics import REGISTRY
+
     RESULTS_DIR.mkdir(exist_ok=True)
+    payload = dict(payload)
+    payload.setdefault("metrics", (registry or REGISTRY).snapshot())
     path = RESULTS_DIR / f"{name}.json"
     path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"

@@ -4,20 +4,25 @@ Run with::
 
     python examples/observability.py
 
-Shows the three lenses the engine offers on a single query:
+Shows the lenses the engine offers on a single query:
 
 1. ``explain`` — the analytical model's predicted cost per strategy (what
    the optimizer sees *before* running anything);
 2. ``describe`` — the chosen strategy's physical operator tree;
 3. ``trace`` — what actually happened, operator by operator, with observed
-   cardinalities, next to the executed query's counter-level statistics.
+   cardinalities, next to the executed query's counter-level statistics;
+4. ``explain --analyze`` — the span tree: per-operator wall-clock and
+   model-replay attribution (exclusive times sum exactly to the query's
+   ``simulated_ms``), plus I/O and decode-cache counters;
+5. the process-wide metrics registry — counters, latency histograms and the
+   slow-query log accumulated across everything the example ran.
 """
 
 from __future__ import annotations
 
 import tempfile
 
-from repro import Database, Predicate, SelectQuery, load_tpch
+from repro import REGISTRY, Database, Predicate, SelectQuery, load_tpch
 
 
 def main() -> None:
@@ -69,6 +74,29 @@ def main() -> None:
         f"   {other}: {forced.simulated_ms:.1f} ms replay, "
         f"{forced.stats.tuples_constructed} tuples constructed "
         f"(vs {stats.tuples_constructed})"
+    )
+
+    print("\n4) explain analyze — the span tree, with per-operator timing")
+    report = db.explain(query, analyze=True, strategy=plan["chosen"])
+    for line in report["text"].splitlines():
+        print("   " + line)
+    self_total = sum(
+        s.self_simulated_ms(db.constants) for s in report["root"].walk()
+    )
+    print(
+        f"   -> per-span self times sum to {self_total:.3f} ms "
+        f"== query simulated_ms {report['simulated_ms']:.3f} ms"
+    )
+
+    print("\n5) metrics registry — accumulated across everything above")
+    snap = REGISTRY.snapshot()
+    for name, value in sorted(snap["counters"].items()):
+        print(f"   {name} = {value}")
+    pool = snap.get("buffer_pool", {})
+    print(
+        f"   buffer pool: {pool.get('hits', 0)} hits, "
+        f"{pool.get('misses', 0)} misses, "
+        f"{pool.get('resident_blocks', 0)} resident blocks"
     )
 
 

@@ -48,8 +48,9 @@ from .errors import (
     StorageError,
     UnsupportedOperationError,
 )
-from .metrics import QueryStats
+from .metrics import REGISTRY, MetricsRegistry, QueryStats
 from .model import PAPER_CONSTANTS, ModelConstants, calibrate_constants
+from .observe import Span, SpanTracer
 from .operators.aggregate import AggSpec
 from .planner import (
     JoinQuery,
@@ -68,6 +69,10 @@ __all__ = [
     "Database",
     "QueryResult",
     "QueryStats",
+    "MetricsRegistry",
+    "REGISTRY",
+    "Span",
+    "SpanTracer",
     "SelectQuery",
     "JoinQuery",
     "Strategy",

@@ -157,5 +157,16 @@ class DecodedBlockCache:
     def resident_bytes(self) -> int:
         return self._bytes
 
+    def metrics(self) -> dict:
+        """Live cache state for the metrics registry's collector interface."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "resident_entries": len(self._cache),
+                "resident_bytes": self._bytes,
+                "capacity_bytes": self.capacity_bytes,
+            }
+
     def __len__(self) -> int:
         return len(self._cache)

@@ -96,6 +96,22 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also print the chosen strategy's physical operator tree",
     )
+    explain.add_argument(
+        "--analyze",
+        action="store_true",
+        help="execute the query and print the measured span tree "
+        "(EXPLAIN ANALYZE)",
+    )
+    explain.add_argument(
+        "--strategy",
+        default="auto",
+        help="strategy for --analyze (default: model-driven choice)",
+    )
+    explain.add_argument(
+        "--json",
+        action="store_true",
+        help="with --analyze, emit the span tree as JSON instead of ASCII",
+    )
 
     sub.add_parser(
         "calibrate", help="measure this machine's Table 2 model constants"
@@ -165,7 +181,9 @@ def cmd_query(args) -> int:
 
 
 def cmd_explain(args) -> int:
-    """`repro explain`: per-strategy model predictions for a statement."""
+    """`repro explain`: model predictions, or measured spans with --analyze."""
+    import json
+
     from .sql import bind, parse
 
     db = Database(args.db)
@@ -174,6 +192,18 @@ def cmd_explain(args) -> int:
         db.catalog,
         encodings=_parse_encodings(args.encoding) or None,
     )
+    if args.analyze:
+        report = db.explain(query, analyze=True, strategy=args.strategy)
+        if args.json:
+            print(json.dumps(report["json"], indent=2))
+        else:
+            print(report["text"])
+            print(
+                f"-- {report['rows']} rows, strategy={report['strategy']}, "
+                f"wall={report['wall_ms']:.2f} ms, "
+                f"model-replay={report['simulated_ms']:.2f} ms"
+            )
+        return 0
     plan = db.explain(query)
     for name, ms in sorted(plan["predictions"].items(), key=lambda kv: kv[1]):
         marker = "  <- chosen" if name == plan["chosen"] else ""

@@ -39,9 +39,10 @@ from .delta import (
     merge_aggregates,
 )
 from .errors import CatalogError, ExecutionError, PlanError
-from .metrics import QueryStats
+from .metrics import REGISTRY, MetricsRegistry, QueryStats
 from .model.constants import PAPER_CONSTANTS, ModelConstants
 from .model.cost import simulated_time_ms
+from .observe import Span, SpanTracer
 from .operators import ExecutionContext, TupleSet
 from .planner import (
     JoinQuery,
@@ -68,9 +69,20 @@ class QueryResult:
     wall_ms: float
     simulated_ms: float
     decoders: dict = field(default_factory=dict)
-    #: Operator events in execution order when the query ran with
+    #: Root of the EXPLAIN ANALYZE span tree when the query ran with
     #: ``trace=True``; None otherwise.
-    trace: list | None = None
+    spans: Span | None = None
+
+    @property
+    def trace(self) -> list | None:
+        """Flat ``(operator, detail)`` events derived from the span tree.
+
+        Operators appear in the order they *finished* (children before
+        parents), matching the legacy flat-trace representation.
+        """
+        if self.spans is None:
+            return None
+        return self.spans.events()
 
     @property
     def n_rows(self) -> int:
@@ -140,6 +152,8 @@ class Database:
         decompress_eagerly: bool = False,
         decoded_cache_bytes: int = DEFAULT_DECODED_CAPACITY_BYTES,
         parallel_scans: int = 0,
+        metrics: MetricsRegistry | None = None,
+        slow_query_ms: float | None = None,
     ):
         """Open (or create) a database.
 
@@ -155,6 +169,12 @@ class Database:
                 keeps execution strictly serial. Counters merge
                 deterministically, so results and simulated costs are
                 identical to serial execution.
+            metrics: registry every finished query is reported into. Defaults
+                to the process-wide :data:`repro.metrics.REGISTRY`; pass a
+                fresh :class:`~repro.metrics.MetricsRegistry` to isolate.
+            slow_query_ms: wall-clock threshold for this database's entries
+                in the registry's slow-query log. ``None`` uses the
+                registry's own threshold.
         """
         self.catalog = Catalog(root)
         self.disk = disk if disk is not None else DiskModel()
@@ -174,6 +194,13 @@ class Database:
         self.use_multicolumns = use_multicolumns
         self.use_indexes = use_indexes
         self.decompress_eagerly = decompress_eagerly
+        self.metrics = metrics if metrics is not None else REGISTRY
+        self.slow_query_ms = slow_query_ms
+        self.metrics.register_collector("buffer_pool", self.pool.metrics)
+        if self.decoded is not None:
+            self.metrics.register_collector(
+                "decoded_cache", self.decoded.metrics
+            )
         # Pending inserts are WAL-backed under the database root so they
         # survive process restarts until the tuple mover folds them in.
         self.delta = DeltaStore(wal_directory=self.catalog.root / "_wal")
@@ -193,9 +220,14 @@ class Database:
             self.decoded.clear()
 
     def close(self) -> None:
-        """Release the scan scheduler's worker threads (idempotent)."""
+        """Release the scan scheduler and detach metrics collectors."""
         if self.scheduler is not None:
             self.scheduler.close()
+        self.metrics.unregister_collector("buffer_pool", self.pool.metrics)
+        if self.decoded is not None:
+            self.metrics.unregister_collector(
+                "decoded_cache", self.decoded.metrics
+            )
 
     def __enter__(self) -> "Database":
         return self
@@ -204,16 +236,36 @@ class Database:
         self.close()
 
     def _context(self, trace: bool = False) -> ExecutionContext:
+        stats = QueryStats()
         return ExecutionContext(
             pool=self.pool,
-            stats=QueryStats(),
+            stats=stats,
             use_multicolumns=self.use_multicolumns,
             use_indexes=self.use_indexes,
             decompress_eagerly=self.decompress_eagerly,
             decoded=self.decoded,
             scheduler=self.scheduler,
-            trace=[] if trace else None,
+            tracer=SpanTracer(stats) if trace else None,
         )
+
+    @staticmethod
+    def _finish_trace(ctx: ExecutionContext, strategy: str) -> Span | None:
+        """Close the root span of a successful execution, if tracing."""
+        if ctx.tracer is None:
+            return None
+        root = ctx.tracer.finish()
+        root.detail["strategy"] = strategy
+        return root
+
+    @staticmethod
+    def _abort_trace(ctx: ExecutionContext, exc: BaseException) -> None:
+        """Error path: truncate the span tree and attach it to the exception.
+
+        Any span the exception cut short is closed with ``status="error"``,
+        so ``exc.spans`` is a valid (if incomplete) tree for post-mortems.
+        """
+        if ctx.tracer is not None:
+            exc.spans = ctx.tracer.finish(error=exc)
 
     def _resolve_strategy(
         self, projection: Projection, query: SelectQuery, strategy
@@ -256,10 +308,21 @@ class Database:
         if cold:
             self.clear_cache()
         if isinstance(query, JoinQuery):
-            return self._run_join(query, strategy, trace=trace)
-        if not isinstance(query, SelectQuery):
+            result = self._run_join(query, strategy, trace=trace)
+        elif isinstance(query, SelectQuery):
+            result = self._run_select(query, strategy, trace=trace)
+        else:
             raise PlanError(f"cannot execute {type(query).__name__}")
-        return self._run_select(query, strategy, trace=trace)
+        self.metrics.observe_query(
+            strategy=result.strategy,
+            wall_ms=result.wall_ms,
+            simulated_ms=result.simulated_ms,
+            rows=result.n_rows,
+            description=repr(query)[:200],
+            encodings=getattr(query, "encoding_map", {}).values(),
+            slow_threshold_ms=self.slow_query_ms,
+        )
+        return result
 
     def _pending_table(self, *names) -> str | None:
         """First of *names* with buffered inserts, if any."""
@@ -277,13 +340,17 @@ class Database:
         resolved = self._resolve_strategy(projection, query, strategy)
         ctx = self._context(trace=trace)
         start = time.perf_counter()
-        pending = self._pending_table(query.projection, projection.anchor)
-        if pending is None:
-            tuples = execute_select(ctx, projection, query, resolved)
-        else:
-            tuples = self._select_with_delta(
-                ctx, projection, query, resolved, pending
-            )
+        try:
+            pending = self._pending_table(query.projection, projection.anchor)
+            if pending is None:
+                tuples = execute_select(ctx, projection, query, resolved)
+            else:
+                tuples = self._select_with_delta(
+                    ctx, projection, query, resolved, pending
+                )
+        except BaseException as exc:
+            self._abort_trace(ctx, exc)
+            raise
         wall_ms = (time.perf_counter() - start) * 1000.0
         return QueryResult(
             tuples=tuples,
@@ -292,7 +359,7 @@ class Database:
             wall_ms=wall_ms,
             simulated_ms=simulated_time_ms(ctx.stats, self.constants),
             decoders=self._decoders(projection, tuples.columns),
-            trace=ctx.trace,
+            spans=self._finish_trace(ctx, resolved.value),
         )
 
     def _select_with_delta(
@@ -420,7 +487,11 @@ class Database:
             resolved = RightTableStrategy.from_name(str(strategy))
         ctx = self._context(trace=trace)
         start = time.perf_counter()
-        tuples = execute_join(ctx, left, right, query, resolved)
+        try:
+            tuples = execute_join(ctx, left, right, query, resolved)
+        except BaseException as exc:
+            self._abort_trace(ctx, exc)
+            raise
         wall_ms = (time.perf_counter() - start) * 1000.0
         decoders = self._decoders(left, tuples.columns)
         decoders.update(self._decoders(right, tuples.columns))
@@ -431,7 +502,7 @@ class Database:
             wall_ms=wall_ms,
             simulated_ms=simulated_time_ms(ctx.stats, self.constants),
             decoders=decoders,
-            trace=ctx.trace,
+            spans=self._finish_trace(ctx, resolved.value),
         )
 
     def sql(
@@ -465,14 +536,36 @@ class Database:
         return describe_plan(projection, query, resolved)
 
     def explain(
-        self, query: SelectQuery | JoinQuery, resident: float = 0.0
+        self,
+        query: SelectQuery | JoinQuery,
+        resident: float = 0.0,
+        analyze: bool = False,
+        strategy: Strategy | str | None = "auto",
     ) -> dict:
         """Per-strategy model predictions for *query* (the optimizer's view).
 
         Selection queries compare the four materialization strategies; join
         queries compare the three inner-table strategies (via the join model
         extension).
+
+        With ``analyze=True`` the query is *executed* (with tracing on, under
+        the given *strategy*) and the result is an EXPLAIN ANALYZE report
+        instead: ``{"strategy", "rows", "wall_ms", "simulated_ms", "root"
+        (the Span tree), "text" (rendered tree), "json" (export dict)}``.
         """
+        if analyze:
+            from .planner.describe import render_span_tree
+
+            result = self.query(query, strategy=strategy, trace=True)
+            return {
+                "strategy": result.strategy,
+                "rows": result.n_rows,
+                "wall_ms": result.wall_ms,
+                "simulated_ms": result.simulated_ms,
+                "root": result.spans,
+                "text": render_span_tree(result.spans, self.constants),
+                "json": result.spans.to_dict(self.constants),
+            }
         if isinstance(query, JoinQuery):
             from .model.predictor import predict_join
 

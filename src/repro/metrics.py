@@ -1,16 +1,30 @@
-"""Query execution statistics.
+"""Query execution statistics and the process-wide metrics registry.
 
-Every operator increments counters on a shared :class:`QueryStats` instance.
-The counters correspond one-to-one to the terms of the paper's analytical
-model (Table 1), which lets the model be replayed over *observed* behaviour:
-``repro.model.cost.simulated_time_ms(stats, constants)`` converts a finished
-query's counters into the model's predicted milliseconds. Benchmarks report
-both wall-clock and this simulated time, because on a laptop-scale Python
-substrate the simulated time is what preserves the paper's I/O trade-offs.
+Two layers of observability live here:
+
+* :class:`QueryStats` — per-query counters every operator increments on a
+  shared instance. The counters correspond one-to-one to the terms of the
+  paper's analytical model (Table 1), which lets the model be replayed over
+  *observed* behaviour: ``repro.model.cost.simulated_time_ms(stats,
+  constants)`` converts a finished query's counters into the model's
+  predicted milliseconds. Benchmarks report both wall-clock and this
+  simulated time, because on a laptop-scale Python substrate the simulated
+  time is what preserves the paper's I/O trade-offs.
+* :class:`MetricsRegistry` — process-lifetime counters, latency histograms
+  (per strategy and per encoding override) and a ring-buffer slow-query
+  log. The engine reports every query into a registry; the buffer pool and
+  decoded-block cache are attached as pull-based *collectors*, so one
+  :meth:`MetricsRegistry.snapshot` is the single source of truth a
+  benchmark or serving layer reads. The module-level :data:`REGISTRY` is
+  the process-wide default; pass ``Database(..., metrics=...)`` to isolate.
 """
 
 from __future__ import annotations
 
+import threading
+import time
+from bisect import bisect_left
+from collections import OrderedDict, deque
 from dataclasses import dataclass, field, fields
 
 
@@ -35,7 +49,15 @@ class QueryStats:
     * ``blocks_skipped`` — blocks pruned via min/max or position coverage.
     * ``decode_hits`` / ``decode_misses`` — decoded-block cache hits and
       decode kernel invocations (the scan fast-path; not a model term, so
-      neither feeds the simulated-time replay).
+      neither feeds the simulated-time replay). These flow end-to-end:
+      ``Database.query`` surfaces them on ``QueryResult.stats`` and the
+      span tree attributes them per operator.
+    * ``simulated_io_us`` — microseconds the simulated disk model charged
+      (the replayed ``SEEK``/``READ`` terms).
+
+    The field list is the contract: ``merge``/``reset``/``as_dict`` operate
+    reflectively over it, the class docstring documents every field (guarded
+    by a reflection test), and new fields must keep all three in sync.
     """
 
     block_reads: int = 0
@@ -82,3 +104,241 @@ class QueryStats:
     def __str__(self) -> str:
         pairs = ", ".join(f"{k}={v}" for k, v in self.as_dict().items() if v)
         return f"QueryStats({pairs})"
+
+
+# --------------------------------------------------------------------------
+# Process-wide metrics registry
+# --------------------------------------------------------------------------
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("value", "_lock")
+
+    def __init__(self):
+        self.value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, n: int = 1) -> None:
+        """Add *n* (default 1) to the counter."""
+        with self._lock:
+            self.value += n
+
+
+class LatencyHistogram:
+    """Log-bucketed latency histogram (milliseconds).
+
+    Buckets double from 0.01 ms up to ~21 minutes, which keeps recording
+    O(log buckets) and snapshots tiny while still giving usable p50/p90/p99
+    estimates (each percentile reports its bucket's upper bound).
+    """
+
+    #: Upper bounds of the buckets, in ms; the last bucket is unbounded.
+    BOUNDS = tuple(0.01 * 2**i for i in range(27))
+
+    __slots__ = ("counts", "count", "sum_ms", "min_ms", "max_ms", "_lock")
+
+    def __init__(self):
+        self.counts = [0] * (len(self.BOUNDS) + 1)
+        self.count = 0
+        self.sum_ms = 0.0
+        self.min_ms = float("inf")
+        self.max_ms = 0.0
+        self._lock = threading.Lock()
+
+    def record(self, ms: float) -> None:
+        """Record one latency observation in milliseconds."""
+        bucket = bisect_left(self.BOUNDS, ms)
+        with self._lock:
+            self.counts[bucket] += 1
+            self.count += 1
+            self.sum_ms += ms
+            self.min_ms = min(self.min_ms, ms)
+            self.max_ms = max(self.max_ms, ms)
+
+    def percentile(self, q: float) -> float:
+        """Upper bound of the bucket holding the *q*-quantile (0 < q <= 1)."""
+        if self.count == 0:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return self.BOUNDS[i] if i < len(self.BOUNDS) else self.max_ms
+        return self.max_ms  # pragma: no cover - defensive
+
+    def snapshot(self) -> dict:
+        """Summary dict: count, sum, min/max/mean and p50/p90/p99."""
+        with self._lock:
+            if self.count == 0:
+                return {"count": 0}
+            return {
+                "count": self.count,
+                "sum_ms": round(self.sum_ms, 4),
+                "mean_ms": round(self.sum_ms / self.count, 4),
+                "min_ms": round(self.min_ms, 4),
+                "max_ms": round(self.max_ms, 4),
+                "p50_ms": round(self.percentile(0.50), 4),
+                "p90_ms": round(self.percentile(0.90), 4),
+                "p99_ms": round(self.percentile(0.99), 4),
+            }
+
+
+class SlowQueryLog:
+    """Ring buffer of the most recent queries over a latency threshold."""
+
+    def __init__(self, threshold_ms: float = 100.0, capacity: int = 128):
+        self.threshold_ms = threshold_ms
+        self._entries: deque = deque(maxlen=max(capacity, 1))
+        self._lock = threading.Lock()
+
+    def observe(self, wall_ms: float, threshold_ms: float | None = None,
+                **entry) -> bool:
+        """Record *entry* if ``wall_ms`` meets the (possibly overridden)
+        threshold; returns whether it was logged."""
+        limit = self.threshold_ms if threshold_ms is None else threshold_ms
+        if wall_ms < limit:
+            return False
+        with self._lock:
+            self._entries.append(
+                {"wall_ms": round(wall_ms, 3), "ts": time.time(), **entry}
+            )
+        return True
+
+    def entries(self) -> list[dict]:
+        """Logged entries, oldest first."""
+        with self._lock:
+            return list(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class MetricsRegistry:
+    """Process-lifetime metrics: counters, histograms, slow-query log.
+
+    The engine calls :meth:`observe_query` once per finished query; cache
+    layers are attached as pull-based collectors (a name plus a zero-arg
+    callable returning a dict), so their live state appears in every
+    :meth:`snapshot` without any hot-path bookkeeping.
+    """
+
+    def __init__(
+        self,
+        slow_query_threshold_ms: float = 100.0,
+        slow_query_capacity: int = 128,
+    ):
+        self._lock = threading.Lock()
+        self._counters: OrderedDict[str, Counter] = OrderedDict()
+        self._histograms: OrderedDict[str, LatencyHistogram] = OrderedDict()
+        self._collectors: OrderedDict[str, object] = OrderedDict()
+        self.slow_queries = SlowQueryLog(
+            threshold_ms=slow_query_threshold_ms,
+            capacity=slow_query_capacity,
+        )
+
+    # ------------------------------------------------------------ instruments
+
+    def counter(self, name: str) -> Counter:
+        """Get (or lazily create) the counter called *name*."""
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter()
+            return c
+
+    def histogram(self, name: str) -> LatencyHistogram:
+        """Get (or lazily create) the latency histogram called *name*."""
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = LatencyHistogram()
+            return h
+
+    def register_collector(self, name: str, fn) -> None:
+        """Attach a pull-based source; *fn* is called at snapshot time.
+
+        Re-registering a name replaces the previous source (a new
+        ``Database`` over the same registry supersedes the old one's caches).
+        """
+        with self._lock:
+            self._collectors[name] = fn
+
+    def unregister_collector(self, name: str, fn=None) -> None:
+        """Detach a collector; with *fn* given, only if it is still *fn*.
+
+        Equality (not identity) comparison, so bound methods — a fresh
+        object on every attribute access — unregister correctly.
+        """
+        with self._lock:
+            if fn is None or self._collectors.get(name) == fn:
+                self._collectors.pop(name, None)
+
+    # ------------------------------------------------------------- reporting
+
+    def observe_query(
+        self,
+        strategy: str,
+        wall_ms: float,
+        simulated_ms: float = 0.0,
+        rows: int = 0,
+        description: str = "",
+        encodings=(),
+        slow_threshold_ms: float | None = None,
+    ) -> None:
+        """Record one finished query into counters, histograms, slow log."""
+        self.counter("queries_total").inc()
+        self.counter(f"queries.strategy.{strategy}").inc()
+        for encoding in encodings:
+            self.counter(f"queries.encoding.{encoding}").inc()
+            self.histogram(f"query_wall_ms.encoding.{encoding}").record(wall_ms)
+        self.histogram("query_wall_ms").record(wall_ms)
+        self.histogram(f"query_wall_ms.strategy.{strategy}").record(wall_ms)
+        self.histogram(f"query_sim_ms.strategy.{strategy}").record(simulated_ms)
+        logged = self.slow_queries.observe(
+            wall_ms,
+            threshold_ms=slow_threshold_ms,
+            strategy=strategy,
+            simulated_ms=round(simulated_ms, 3),
+            rows=rows,
+            query=description,
+        )
+        if logged:
+            self.counter("queries_slow_total").inc()
+
+    # ------------------------------------------------------------- lifecycle
+
+    def snapshot(self) -> dict:
+        """One JSON-safe dict of everything the registry knows right now."""
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            histograms = {
+                name: h.snapshot() for name, h in self._histograms.items()
+            }
+            collectors = list(self._collectors.items())
+        out = {
+            "counters": counters,
+            "histograms": histograms,
+            "slow_queries": self.slow_queries.entries(),
+        }
+        for name, fn in collectors:
+            try:
+                out[name] = fn()
+            except Exception as exc:  # collector outlived its owner
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+    def reset(self) -> None:
+        """Drop counters, histograms and the slow-query log (collectors stay)."""
+        with self._lock:
+            self._counters.clear()
+            self._histograms.clear()
+        self.slow_queries.clear()
+
+
+#: The process-wide default registry every Database reports into unless
+#: constructed with an explicit ``metrics=`` argument.
+REGISTRY = MetricsRegistry()

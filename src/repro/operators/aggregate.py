@@ -122,6 +122,7 @@ class AggregateEM:
 
     def execute(self, tuples: TupleSet) -> TupleSet:
         stats = self.ctx.stats
+        span = self.ctx.begin("AGG")
         n = tuples.n_tuples
         # The aggregator pulls every input row through a tuple iterator.
         stats.tuple_iterations += n
@@ -135,6 +136,10 @@ class AggregateEM:
         reduced = _grouped_reduce(groups, self.group_columns, columns, self.specs)
         result = TupleSet.stitch(reduced, stats=stats)
         stats.tuple_iterations += result.n_tuples
+        if span is not None:
+            self.ctx.end(
+                span, style="tuple", tuples_in=n, groups=result.n_tuples
+            )
         return result
 
 
@@ -163,6 +168,7 @@ class AggregateLM:
         columns: dict[str, np.ndarray],
     ) -> TupleSet:
         stats = self.ctx.stats
+        span = self.ctx.begin("AGG")
         if isinstance(groups, np.ndarray):
             groups = {self.group_columns[0]: groups}
         group_arrays = [groups[c] for c in self.group_columns]
@@ -175,6 +181,10 @@ class AggregateLM:
         )
         result = TupleSet.stitch(reduced, stats=stats)
         stats.tuple_iterations += result.n_tuples
+        if span is not None:
+            self.ctx.end(
+                span, style="vector", rows_in=n, groups=result.n_tuples
+            )
         return result
 
     def execute_runs(
@@ -195,6 +205,7 @@ class AggregateLM:
             raise PlanError(
                 "count(distinct) has no per-run reduction; use the row path"
             )
+        span = self.ctx.begin("AGG")
         n_runs = len(run_values)
         stats.column_iterations += n_runs  # one step per run, not per row
         stats.function_calls += n_runs
@@ -255,4 +266,8 @@ class AggregateLM:
                 out[spec.output_name] = acc
         result = TupleSet.stitch(out, stats=stats)
         stats.tuple_iterations += result.n_tuples
+        if span is not None:
+            self.ctx.end(
+                span, style="runs", runs_in=n_runs, groups=result.n_tuples
+            )
         return result

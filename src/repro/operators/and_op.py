@@ -40,6 +40,7 @@ class AndOp:
         if not inputs:
             raise ExecutionError("AND of zero position lists")
         stats = self.ctx.stats
+        span = self.ctx.begin("AND")
         groups = [and_groups(p) for p in inputs]
         m = max(groups)
         # Step 1: iterate each input list; steps 2-3: produce the output.
@@ -47,11 +48,12 @@ class AndOp:
         stats.function_calls += m * (len(inputs) - 1) + m
         stats.positions_intersected += sum(p.count() for p in inputs)
         result = intersect_all(inputs)
-        self.ctx.emit(
-            "AND",
-            inputs=[p.count() for p in inputs],
-            positions=result.count(),
-        )
+        if span is not None:
+            self.ctx.end(
+                span,
+                inputs=[p.count() for p in inputs],
+                positions=result.count(),
+            )
         return result
 
     def execute_multicolumns(self, inputs: list[MultiColumn]) -> MultiColumn:

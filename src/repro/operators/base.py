@@ -10,6 +10,7 @@ import numpy as np
 from ..buffer import BufferPool, DecodedBlockCache
 from ..metrics import QueryStats
 from ..multicolumn import MiniColumn
+from ..observe import Span, SpanTracer
 from ..storage.block import BlockDescriptor
 from ..storage.column_file import ColumnFile
 
@@ -45,15 +46,26 @@ class ExecutionContext:
     #: When set, the parallel strategies hand their independent scan leaves
     #: to this scheduler instead of running them serially.
     scheduler: "ScanScheduler | None" = None
-    #: When not None, operators append (operator, detail) event tuples here
-    #: in execution order — the observability hook behind
-    #: ``Database.query(..., trace=True)``.
-    trace: list | None = None
+    #: When not None, operators record structured spans here — the
+    #: observability hook behind ``Database.query(..., trace=True)`` and
+    #: ``Database.explain(..., analyze=True)``. None keeps the hot path
+    #: untouched (``begin`` returns None without allocating).
+    tracer: SpanTracer | None = None
 
-    def emit(self, operator: str, **detail) -> None:
-        """Record a trace event if tracing is enabled."""
-        if self.trace is not None:
-            self.trace.append((operator, detail))
+    def begin(self, operator: str) -> Span | None:
+        """Open a span for one operator application (None when not tracing).
+
+        Operators guard the matching :meth:`end` with ``if span is not
+        None`` so detail kwargs are never even evaluated untraced.
+        """
+        if self.tracer is None:
+            return None
+        return self.tracer.begin(operator)
+
+    def end(self, span: Span | None, **detail) -> None:
+        """Close a span opened by :meth:`begin`; no-op for None."""
+        if span is not None:
+            self.tracer.end(span, **detail)
 
     def read_block(self, column_file: ColumnFile, index: int) -> bytes:
         """Fetch one block payload through the buffer pool, counting a BIC step."""
@@ -118,19 +130,20 @@ class ExecutionContext:
     def leaf(self) -> "ExecutionContext":
         """A child context for one concurrent scan leaf.
 
-        Shares the pool and decoded cache; gets private stats and trace (the
-        scheduler merges both back in task order) and no scheduler of its own
-        so leaves never nest.
+        Shares the pool and decoded cache; gets private stats and span
+        tracer (the scheduler merges stats and adopts spans in task order)
+        and no scheduler of its own so leaves never nest.
         """
+        stats = QueryStats()
         return ExecutionContext(
             pool=self.pool,
-            stats=QueryStats(),
+            stats=stats,
             use_multicolumns=self.use_multicolumns,
             use_indexes=self.use_indexes,
             decompress_eagerly=self.decompress_eagerly,
             decoded=self.decoded,
             scheduler=None,
-            trace=[] if self.trace is not None else None,
+            tracer=SpanTracer(stats) if self.tracer is not None else None,
         )
 
     def map_leaves(

@@ -127,18 +127,20 @@ class DS1Scan:
     def execute(self) -> ScanResult:
         ctx, cf, pred = self.ctx, self.column_file, self.predicate
         stats = ctx.stats
+        span = ctx.begin("DS1")
         from_index = self._index_positions()
         if from_index is not None:
             stats.extra["index_lookups"] = (
                 stats.extra.get("index_lookups", 0) + 1
             )
-            ctx.emit(
-                "DS1",
-                column=cf.column,
-                predicate=str(pred),
-                via="index",
-                positions=from_index.count(),
-            )
+            if span is not None:
+                ctx.end(
+                    span,
+                    column=cf.column,
+                    predicate=str(pred),
+                    via="index",
+                    positions=from_index.count(),
+                )
             return ScanResult(positions=from_index, minicolumn=None)
         mini = MiniColumn(cf) if ctx.use_multicolumns else None
         parts: list[PositionSet] = []
@@ -173,13 +175,14 @@ class DS1Scan:
             stats.function_calls += block_positions.count()  # emit matches
             parts.append(block_positions)
         positions = _concat_position_sets(parts, cf.n_values)
-        ctx.emit(
-            "DS1",
-            column=cf.column,
-            predicate=str(pred),
-            via="scan",
-            positions=positions.count(),
-        )
+        if span is not None:
+            ctx.end(
+                span,
+                column=cf.column,
+                predicate=str(pred),
+                via="scan",
+                positions=positions.count(),
+            )
         return ScanResult(positions=positions, minicolumn=mini)
 
 
@@ -201,6 +204,7 @@ class DS2Scan:
     def execute(self) -> TupleSet:
         ctx, cf, pred = self.ctx, self.column_file, self.predicate
         stats = ctx.stats
+        span = ctx.begin("DS2")
         pos_parts: list[np.ndarray] = []
         val_parts: list[np.ndarray] = []
         for desc in cf.descriptors:
@@ -250,15 +254,17 @@ class DS2Scan:
             if val_parts
             else np.empty(0, dtype=cf.dtype)
         )
-        ctx.emit(
-            "DS2",
-            column=cf.column,
-            predicate=str(pred) if pred is not None else None,
-            tuples=len(pos),
-        )
-        return TupleSet.stitch(
+        result = TupleSet.stitch(
             {POSITION_COLUMN: pos, cf.column: vals}, stats=stats
         )
+        if span is not None:
+            ctx.end(
+                span,
+                column=cf.column,
+                predicate=str(pred) if pred is not None else None,
+                tuples=len(pos),
+            )
+        return result
 
 
 class DS3Gather:
@@ -289,6 +295,7 @@ class DS3Gather:
     def execute(self) -> ScanResult:
         ctx, cf = self.ctx, self.column_file
         stats = ctx.stats
+        span = ctx.begin("DS3" if self.predicate is None else "DS3+filter")
         groups = position_groups(self.positions)
         if cf.encoding.supports_runs and not ctx.decompress_eagerly:
             # Extraction from run-length data jumps run to run, not value to
@@ -306,12 +313,13 @@ class DS3Gather:
         pos_array = self.positions.to_array()
         values = gather_values(ctx, cf, pos_array, minicolumn=self.minicolumn)
         if self.predicate is None:
-            ctx.emit(
-                "DS3",
-                column=cf.column,
-                positions=len(pos_array),
-                pinned=self.minicolumn is not None,
-            )
+            if span is not None:
+                ctx.end(
+                    span,
+                    column=cf.column,
+                    positions=len(pos_array),
+                    pinned=self.minicolumn is not None,
+                )
             return ScanResult(
                 positions=self.positions, minicolumn=self.minicolumn, values=values
             )
@@ -319,13 +327,14 @@ class DS3Gather:
         stats.function_calls += len(values)
         stats.values_scanned += len(values)
         kept = pos_array[mask]
-        ctx.emit(
-            "DS3+filter",
-            column=cf.column,
-            predicate=str(self.predicate),
-            positions_in=len(pos_array),
-            positions_out=int(mask.sum()),
-        )
+        if span is not None:
+            ctx.end(
+                span,
+                column=cf.column,
+                predicate=str(self.predicate),
+                positions_in=len(pos_array),
+                positions_out=int(mask.sum()),
+            )
         return ScanResult(
             positions=ListedPositions(kept, assume_sorted=True)
             if kept.size
@@ -353,6 +362,7 @@ class DS4Scan:
     def execute(self) -> TupleSet:
         ctx, cf = self.ctx, self.column_file
         stats = ctx.stats
+        span = ctx.begin("DS4")
         tuples = self.tuples
         n_em = tuples.n_tuples
         positions = tuples.positions
@@ -365,22 +375,26 @@ class DS4Scan:
             stats.values_scanned += n_em
             matched = int(mask.sum())
             stats.tuple_iterations += matched  # step 5: output <e, t>
-            ctx.emit(
-                "DS4",
-                column=cf.column,
-                predicate=str(self.predicate),
-                tuples_in=n_em,
-                tuples_out=matched,
-            )
-            return tuples.filter(mask).extend(
+            result = tuples.filter(mask).extend(
                 cf.column, values[mask], stats=stats
             )
+            if span is not None:
+                ctx.end(
+                    span,
+                    column=cf.column,
+                    predicate=str(self.predicate),
+                    tuples_in=n_em,
+                    tuples_out=matched,
+                )
+            return result
         stats.tuple_iterations += n_em
-        ctx.emit(
-            "DS4", column=cf.column, predicate=None, tuples_in=n_em,
-            tuples_out=n_em,
-        )
-        return tuples.extend(cf.column, values, stats=stats)
+        result = tuples.extend(cf.column, values, stats=stats)
+        if span is not None:
+            ctx.end(
+                span, column=cf.column, predicate=None, tuples_in=n_em,
+                tuples_out=n_em,
+            )
+        return result
 
 
 class SPCScan:
@@ -421,6 +435,7 @@ class SPCScan:
 
     def execute(self) -> TupleSet:
         stats = self.ctx.stats
+        span = self.ctx.begin("SPC")
         # The per-column full scans are SPC's independent leaves: no data
         # dependencies, so the scheduler (when configured) overlaps them.
         names = list(self.column_files)
@@ -454,10 +469,11 @@ class SPCScan:
         result = TupleSet.stitch(stitched, stats=stats)
         # Step 5: constructing each surviving tuple is a tuple-iterator step.
         stats.tuple_iterations += result.n_tuples
-        self.ctx.emit(
-            "SPC",
-            columns=list(self.column_files),
-            predicates=[str(p) for p in self.predicates],
-            tuples=result.n_tuples,
-        )
+        if span is not None:
+            self.ctx.end(
+                span,
+                columns=list(self.column_files),
+                predicates=[str(p) for p in self.predicates],
+                tuples=result.n_tuples,
+            )
         return result

@@ -78,10 +78,19 @@ def join_single_column(
     right_keys: np.ndarray,
 ) -> JoinPositions:
     """Pure-LM join: only join-key columns in, position pairs out."""
+    span = ctx.begin("JOIN")
     left_mask, right_index = _probe(ctx, left_keys, right_keys)
     ctx.stats.extra["join_matches"] = (
         ctx.stats.extra.get("join_matches", 0) + int(left_mask.sum())
     )
+    if span is not None:
+        ctx.end(
+            span,
+            inner="single-column",
+            left_in=len(left_keys),
+            right_in=len(right_keys),
+            matches=int(left_mask.sum()),
+        )
     return JoinPositions(
         left_positions=left_positions[left_mask],
         right_positions=right_index.astype(np.int64),
@@ -101,6 +110,7 @@ def join_materialized(
     matching right tuples (a row gather from the materialized inner table).
     """
     stats = ctx.stats
+    span = ctx.begin("JOIN")
     right_keys = right_tuples.column(right_key)
     left_mask, right_index = _probe(ctx, left_keys, right_keys)
     n = int(left_mask.sum())
@@ -110,6 +120,14 @@ def join_materialized(
     matched = TupleSet(
         columns=right_tuples.columns, data=right_tuples.data[right_index]
     )
+    if span is not None:
+        ctx.end(
+            span,
+            inner="materialized",
+            left_in=len(left_keys),
+            right_in=len(right_keys),
+            matches=n,
+        )
     return left_positions[left_mask], matched
 
 
@@ -129,6 +147,7 @@ def join_multicolumn(
     matching position — constructing values only for tuples that join.
     """
     stats = ctx.stats
+    span = ctx.begin("JOIN")
     valid = right_mc.descriptor.to_array()
     key_file = right_files[right_key]
     key_values = gather_values(
@@ -148,6 +167,14 @@ def join_multicolumn(
             matched_positions,
             minicolumn=mini,
             on_the_fly=True,
+        )
+    if span is not None:
+        ctx.end(
+            span,
+            inner="multi-column",
+            left_in=len(left_keys),
+            right_in=len(valid),
+            matches=len(matched_positions),
         )
     return left_positions[left_mask], out
 
@@ -178,6 +205,7 @@ def hash_join_tuples(
 ) -> TupleSet:
     """Fully early-materialized join: tuples in, tuples out (row-store style)."""
     stats = ctx.stats
+    span = ctx.begin("JOIN")
     left_keys = left.column(left_key)
     left_mask, right_index = _probe(ctx, left_keys, right.column(right_key))
     stats.tuple_iterations += left.n_tuples + right.n_tuples
@@ -189,6 +217,14 @@ def hash_join_tuples(
     out = TupleSet(columns=left.columns + tuple(right_cols), data=data)
     stats.tuples_constructed += out.n_tuples
     stats.tuple_iterations += out.n_tuples
+    if span is not None:
+        ctx.end(
+            span,
+            inner="tuples",
+            left_in=left.n_tuples,
+            right_in=right.n_tuples,
+            matches=out.n_tuples,
+        )
     return out
 
 

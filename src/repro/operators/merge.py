@@ -24,6 +24,7 @@ class MergeOp:
         if not columns:
             raise ExecutionError("MERGE of zero columns")
         stats = self.ctx.stats
+        span = self.ctx.begin("MERGE")
         k = len(columns)
         lengths = {len(v) for v in columns.values()}
         if len(lengths) > 1:
@@ -32,5 +33,7 @@ class MergeOp:
         # Figure 5: access values as vectors (n*k FC) and produce tuples as
         # an array (n*k FC) — no per-tuple iterator on either side.
         stats.function_calls += 2 * n * k
-        self.ctx.emit("MERGE", columns=list(columns), tuples=n)
-        return TupleSet.stitch(columns, stats=stats)
+        result = TupleSet.stitch(columns, stats=stats)
+        if span is not None:
+            self.ctx.end(span, columns=list(columns), tuples=n)
+        return result

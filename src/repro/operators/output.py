@@ -13,9 +13,12 @@ from .tuples import POSITION_COLUMN, TupleSet
 
 def drain(ctx: ExecutionContext, tuples: TupleSet) -> TupleSet:
     """Consume a result tuple stream, counting per-tuple output iteration."""
+    span = ctx.begin("OUTPUT")
     if POSITION_COLUMN in tuples.columns:
         tuples = tuples.without(POSITION_COLUMN)
     n = tuples.n_tuples
     ctx.stats.tuples_output += n
     ctx.stats.tuple_iterations += n
+    if span is not None:
+        ctx.end(span, rows=n)
     return tuples

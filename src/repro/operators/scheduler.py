@@ -56,8 +56,10 @@ class ScanScheduler:
         """Execute *tasks* concurrently; results come back in task order.
 
         Each task receives a leaf context sharing the parent's pool and
-        decoded cache but with private stats/trace, merged back
-        deterministically after all leaves finish.
+        decoded cache but with private stats and span tracer, merged back
+        deterministically after all leaves finish. A leaf that raised has
+        its open spans closed as ``status="error"`` before adoption, so a
+        failure mid-scan still yields a truncated-but-valid span tree.
         """
         leaves = [parent.leaf() for _ in tasks]
         executor = self._pool()
@@ -65,19 +67,22 @@ class ScanScheduler:
             executor.submit(task, leaf) for task, leaf in zip(tasks, leaves)
         ]
         results: list = []
+        errors: list[BaseException | None] = []
         error: BaseException | None = None
         for future in futures:  # barrier: wait for every leaf
             try:
                 results.append(future.result())
+                errors.append(None)
             except BaseException as exc:  # noqa: BLE001 - re-raised below
                 results.append(None)
+                errors.append(exc)
                 if error is None:
                     error = exc
         # Deterministic merge: task order, never completion order.
-        for leaf in leaves:
+        for leaf, leaf_error in zip(leaves, errors):
             parent.stats.merge(leaf.stats)
-            if parent.trace is not None and leaf.trace:
-                parent.trace.extend(leaf.trace)
+            if parent.tracer is not None and leaf.tracer is not None:
+                parent.tracer.adopt(leaf.tracer, error=leaf_error)
         if error is not None:
             raise error
         return results

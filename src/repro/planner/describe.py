@@ -1,9 +1,14 @@
-"""Textual physical-plan rendering (EXPLAIN without executing).
+"""Textual physical-plan rendering (EXPLAIN, with and without executing).
 
-Mirrors the plan shapes :mod:`repro.planner.plans` builds, annotated with the
-physical facts the strategy decision rests on: encodings, block counts, run
-lengths, estimated selectivities, index availability, and the model's
-predicted cost per operator.
+Two renderers live here:
+
+* :func:`describe_plan` mirrors the plan shapes :mod:`repro.planner.plans`
+  builds, annotated with the physical facts the strategy decision rests on:
+  encodings, block counts, run lengths, estimated selectivities, index
+  availability.
+* :func:`render_span_tree` renders a *measured* execution — the span tree
+  EXPLAIN ANALYZE produces — with per-operator wall-clock, simulated-time
+  attribution and cache interactions.
 """
 
 from __future__ import annotations
@@ -13,6 +18,70 @@ from ..storage.projection import Projection
 from .estimate import estimate_selectivity
 from .logical import SelectQuery
 from .strategies import Strategy
+
+#: detail keys already surfaced elsewhere on a span line.
+_SKIP_DETAIL = frozenset(
+    {"rows", "tuples", "tuples_out", "positions", "positions_out", "matches"}
+)
+
+
+def _span_label(span) -> str:
+    """One-line operator label: name plus the interesting detail items."""
+    bits = []
+    for key, value in span.detail.items():
+        if key in _SKIP_DETAIL or value is None:
+            continue
+        if isinstance(value, (list, tuple)):
+            value = ",".join(str(v) for v in value)
+        bits.append(f"{key}={value}")
+    label = span.name
+    if span.status == "error":
+        label += " !ERROR"
+    if bits:
+        label += " (" + " ".join(bits) + ")"
+    return label
+
+
+def _span_measurements(span, constants) -> str:
+    """The measured half of a span line: rows, times, cache interactions."""
+    bits = []
+    if span.rows_out is not None:
+        bits.append(f"rows={span.rows_out}")
+    bits.append(f"wall={span.wall_ms:.3f}ms")
+    if constants is not None:
+        bits.append(f"sim={span.simulated_ms(constants):.3f}ms")
+        bits.append(f"self={span.self_simulated_ms(constants):.3f}ms")
+    s = span.stats
+    if s.block_reads or s.buffer_hits:
+        bits.append(f"io={s.block_reads}r/{s.buffer_hits}h")
+    if s.decode_hits or s.decode_misses:
+        bits.append(f"decode={s.decode_hits}h/{s.decode_misses}m")
+    if s.blocks_skipped:
+        bits.append(f"skipped={s.blocks_skipped}")
+    return "  [" + " ".join(bits) + "]"
+
+
+def render_span_tree(span, constants=None) -> str:
+    """ASCII EXPLAIN ANALYZE tree for a measured execution.
+
+    Each line shows one operator span: its detail, output cardinality,
+    wall-clock, cumulative and *self* simulated time (per-span self times
+    sum to the whole query's model replay), and its buffer-pool /
+    decoded-cache interactions.
+    """
+    lines = [_span_label(span) + _span_measurements(span, constants)]
+
+    def walk(node, prefix: str) -> None:
+        for i, child in enumerate(node.children):
+            last = i == len(node.children) - 1
+            lines.append(
+                prefix + "+- " + _span_label(child)
+                + _span_measurements(child, constants)
+            )
+            walk(child, prefix + ("   " if last else "|  "))
+
+    walk(span, "")
+    return "\n".join(lines)
 
 
 def _column_note(projection: Projection, query: SelectQuery, col: str) -> str:

@@ -116,3 +116,82 @@ class TestMalformedPayloads:
         )
         with pytest.raises(CorruptBlockError):
             db.query(query, strategy="em-parallel", cold=True)
+
+
+def _corrupted_db(tmp_path, parallel_scans=0):
+    """A database whose projection has one corrupted mid-file block."""
+    from repro import Database
+    from repro.dtypes import ColumnSchema
+
+    db = Database(tmp_path / "db", parallel_scans=parallel_scans)
+    rng = np.random.default_rng(11)
+    n = 40_000
+    a = np.sort(rng.integers(0, 1000, size=n)).astype(np.int32)
+    b = rng.integers(0, 1000, size=n).astype(np.int32)
+    db.catalog.create_projection(
+        "t",
+        {"a": a, "b": b},
+        schemas={"a": ColumnSchema("a", INT32), "b": ColumnSchema("b", INT32)},
+        sort_keys=["a"],
+        encodings={"a": ["uncompressed"], "b": ["uncompressed"]},
+        presorted=True,
+    )
+    col_path = db.projection("t").column("b").files["uncompressed"]
+    cf = ColumnFile.open(col_path)
+    target = cf.descriptors[len(cf.descriptors) // 2]
+    corrupt_byte(col_path, target.offset + 5)
+    return db
+
+
+class TestSpanTruncationOnFailure:
+    """A mid-scan failure yields a truncated-but-valid span tree."""
+
+    def _query(self):
+        from repro import Predicate, SelectQuery
+
+        return SelectQuery(
+            projection="t",
+            select=("a", "b"),
+            predicates=(
+                Predicate("a", "!=", -1),
+                Predicate("b", "!=", -1),
+            ),
+        )
+
+    def _assert_truncated_tree(self, excinfo):
+        root = getattr(excinfo.value, "spans", None)
+        assert root is not None, "error carried no span tree"
+        assert root.open_spans() == [], "dangling open spans after failure"
+        assert root.status == "error"
+        assert root.detail["error"] == "CorruptBlockError"
+        errored = [s for s in root.walk() if s.status == "error"]
+        assert len(errored) >= 2  # the root plus the operator cut short
+        # The truncated tree still renders and exports.
+        from repro.planner.describe import render_span_tree
+
+        assert "!ERROR" in render_span_tree(root)
+        root.to_dict()
+
+    @pytest.mark.parametrize(
+        "strategy", ["em-parallel", "lm-parallel", "em-pipelined"]
+    )
+    def test_serial_failure_truncates_spans(self, tmp_path, strategy):
+        db = _corrupted_db(tmp_path)
+        with pytest.raises(CorruptBlockError) as excinfo:
+            db.query(self._query(), strategy=strategy, cold=True, trace=True)
+        self._assert_truncated_tree(excinfo)
+
+    @pytest.mark.parametrize("strategy", ["em-parallel", "lm-parallel"])
+    def test_parallel_leaf_failure_truncates_spans(self, tmp_path, strategy):
+        with _corrupted_db(tmp_path, parallel_scans=2) as db:
+            with pytest.raises(CorruptBlockError) as excinfo:
+                db.query(
+                    self._query(), strategy=strategy, cold=True, trace=True
+                )
+            self._assert_truncated_tree(excinfo)
+
+    def test_untraced_failure_has_no_spans(self, tmp_path):
+        db = _corrupted_db(tmp_path)
+        with pytest.raises(CorruptBlockError) as excinfo:
+            db.query(self._query(), strategy="em-parallel", cold=True)
+        assert getattr(excinfo.value, "spans", None) is None

@@ -27,7 +27,9 @@ class TestTrace:
 
     def test_lm_parallel_shape(self, tpch_db, query):
         r = tpch_db.query(query, strategy=Strategy.LM_PARALLEL, trace=True)
-        assert ops(r.trace) == ["DS1", "DS1", "AND", "DS3", "DS3", "MERGE"]
+        assert ops(r.trace) == [
+            "DS1", "DS1", "AND", "DS3", "DS3", "MERGE", "OUTPUT"
+        ]
         and_event = dict(r.trace)[("AND")]
         assert and_event["positions"] == r.n_rows
         # Both extractions served from pinned mini-columns.
@@ -40,7 +42,7 @@ class TestTrace:
         names = ops(r.trace)
         assert names[0] == "DS1"
         assert "DS3+filter" in names
-        assert names[-1] == "MERGE"
+        assert names[-2:] == ["MERGE", "OUTPUT"]
         assert "AND" not in names  # pipelining obviates the AND
 
     def test_em_pipelined_shape(self, tpch_db, query):
@@ -54,7 +56,7 @@ class TestTrace:
     def test_em_parallel_shape(self, tpch_db, query):
         r = tpch_db.query(query, strategy=Strategy.EM_PARALLEL, trace=True)
         names = ops(r.trace)
-        assert names == ["SPC"]
+        assert names == ["SPC", "OUTPUT"]
         spc = r.trace[0][1]
         assert spc["tuples"] == r.n_rows
 
@@ -87,4 +89,6 @@ class TestTrace:
         names = ops(r.trace)
         assert names[0] == "DS1"
         assert "SPC" in names
-        assert names[-1] == "MERGE"
+        assert "JOIN" in names
+        assert "MERGE" in names
+        assert names[-1] == "OUTPUT"
