@@ -1,0 +1,123 @@
+"""Zone-map pruning benchmark: partitioned vs unpartitioned lineitem.
+
+Loads the same TPC-H lineitem data twice — unpartitioned and 4-way
+range-partitioned — and runs a selective sort-key predicate (``returnflag =
+'R'``, the last quarter of the sort order, narrowed by a shipdate cut) cold
+under each strategy. On the partitioned layout the planner's zone maps
+discard every partition whose returnflag range excludes the constant, so the
+query touches roughly a quarter of the stored blocks; the unpartitioned
+layout scans them all.
+
+The win shows on the **parallel** strategies: they evaluate every predicate
+column independently, so the unpruned layout pays a full scan of the
+uncompressed ``quantity`` column that pruning avoids. (The pipelined
+strategies position-filter later columns to the sorted returnflag range and
+therefore skip most of those blocks even without partitions.) The scale is
+large enough that the saved block reads dominate the extra per-partition
+file seeks, which is exactly the regime the paper's disk model targets.
+
+Asserts the tentpole acceptance criterion — >= 2x simulated-time reduction
+on the headline strategy with at least half the partitions pruned — and
+records the full table (plus the EXPLAIN ANALYZE pruning report) in
+``benchmarks/results/BENCH_partition_prune.json``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Database, Predicate, SelectQuery, load_tpch
+from repro.tpch.generator import (
+    RETURNFLAG_DICTIONARY,
+    SHIPDATE_MAX,
+    SHIPDATE_MIN,
+)
+
+from .harness import record_json
+
+#: 600 K lineitem rows: enough blocks per partition that the saved reads
+#: dwarf the extra seeks a multi-file layout costs.
+SCALE = 0.1
+PARTITIONS = 4
+SEED = 42
+
+#: The headline cell the >= 2x acceptance criterion is judged on.
+HEADLINE_STRATEGY = "em-parallel"
+
+STRATEGIES = ("em-parallel", "em-pipelined", "lm-parallel", "lm-pipelined")
+
+
+@pytest.fixture(scope="module")
+def layout_pair(tmp_path_factory):
+    root = tmp_path_factory.mktemp("bench_prune")
+    plain = Database(root / "plain")
+    load_tpch(plain.catalog, scale=SCALE, seed=SEED)
+    partitioned = Database(root / "partitioned")
+    load_tpch(partitioned.catalog, scale=SCALE, seed=SEED, partitions=PARTITIONS)
+    return plain, partitioned
+
+
+def _selective_query() -> SelectQuery:
+    # returnflag is the primary sort key; 'R' is the last ~25% of rows, so
+    # zone maps can discard the leading partitions outright. The shipdate
+    # cut keeps the output small (scan cost, not tuple construction,
+    # dominates) and `quantity != -1` forces the parallel strategies to
+    # scan the uncompressed quantity column — fully on the unpruned layout,
+    # only in surviving partitions on the pruned one.
+    code = RETURNFLAG_DICTIONARY.index("R")
+    cut = int(SHIPDATE_MIN + 0.05 * (SHIPDATE_MAX + 1 - SHIPDATE_MIN))
+    return SelectQuery(
+        projection="lineitem",
+        select=("shipdate", "quantity"),
+        predicates=(
+            Predicate("returnflag", "=", code),
+            Predicate("shipdate", "<", cut),
+            Predicate("quantity", "!=", -1),
+        ),
+    )
+
+
+def test_partition_prune_speedup(layout_pair):
+    plain, partitioned = layout_pair
+    query = _selective_query()
+
+    table = {}
+    for strategy in STRATEGIES:
+        full = plain.query(query, strategy=strategy, cold=True, trace=True)
+        pruned = partitioned.query(
+            query, strategy=strategy, cold=True, trace=True
+        )
+        assert sorted(pruned.rows()) == sorted(full.rows())
+        table[strategy] = {
+            "full_sim_ms": full.simulated_ms,
+            "pruned_sim_ms": pruned.simulated_ms,
+            "speedup": full.simulated_ms / max(pruned.simulated_ms, 1e-9),
+            "rows": pruned.n_rows,
+        }
+
+    # The pruning decision itself, as EXPLAIN ANALYZE surfaces it.
+    report = partitioned.explain(
+        query, analyze=True, strategy=HEADLINE_STRATEGY
+    )
+    parts = report["partitions"]
+    assert parts["total"] == PARTITIONS
+    assert parts["pruned"] >= PARTITIONS // 2, parts
+
+    for strategy in ("em-parallel", "lm-parallel"):
+        assert table[strategy]["speedup"] >= 2.0, (
+            f"zone-map pruning gave only {table[strategy]['speedup']:.2f}x "
+            f"on {strategy} (full {table[strategy]['full_sim_ms']:.2f} ms, "
+            f"pruned {table[strategy]['pruned_sim_ms']:.2f} ms)"
+        )
+
+    record_json(
+        "BENCH_partition_prune",
+        {
+            "scale": SCALE,
+            "partitions": PARTITIONS,
+            "predicate": "returnflag = 'R' AND shipdate < :cut "
+            "AND quantity != -1",
+            "pruning": parts,
+            "strategies": table,
+        },
+    )

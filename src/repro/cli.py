@@ -52,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_db_argument(load)
     load.add_argument("--scale", type=float, default=0.01)
     load.add_argument("--seed", type=int, default=42)
+    load.add_argument(
+        "--partitions",
+        type=int,
+        default=1,
+        help="range-partition the lineitem projection into N contiguous "
+        "chunks with per-partition zone maps (default: 1, unpartitioned)",
+    )
 
     info = sub.add_parser("info", help="list projections, columns, encodings")
     _add_db_argument(info)
@@ -133,9 +140,20 @@ def cmd_load_tpch(args) -> int:
     from .tpch import load_tpch
 
     db = Database(args.db)
-    load_tpch(db.catalog, scale=args.scale, seed=args.seed)
+    load_tpch(
+        db.catalog,
+        scale=args.scale,
+        seed=args.seed,
+        partitions=args.partitions,
+    )
     for name in db.catalog.names():
-        print(f"loaded projection {name}: {db.projection(name).n_rows} rows")
+        proj = db.projection(name)
+        parts = (
+            f" in {len(proj.partitions)} partitions"
+            if proj.is_partitioned
+            else ""
+        )
+        print(f"loaded projection {name}: {proj.n_rows} rows{parts}")
     return 0
 
 
@@ -150,8 +168,16 @@ def cmd_info(args) -> int:
         proj = db.projection(name)
         keys = ", ".join(proj.sort_keys) or "unsorted"
         print(f"{name}: {proj.n_rows} rows, sorted by ({keys})")
+        if proj.is_partitioned:
+            print(f"  range-partitioned: {len(proj.partitions)} partitions")
+            for part in proj.partitions:
+                zones = ", ".join(
+                    f"{col}=[{zm.min_value},{zm.max_value}]"
+                    for col, zm in part.zone_maps.items()
+                )
+                print(f"    {part.name}: {part.n_rows} rows, {zones}")
         for col in proj.column_names:
-            pc = proj.column(col)
+            pc = proj.physical_column(col)
             encodings = ", ".join(pc.encodings)
             indexed = "  [indexed]" if pc.index_path else ""
             print(f"  {col:>16} ({pc.schema.ctype.name}): {encodings}{indexed}")
@@ -198,13 +224,26 @@ def cmd_explain(args) -> int:
             print(json.dumps(report["json"], indent=2))
         else:
             print(report["text"])
-            print(
+            summary = (
                 f"-- {report['rows']} rows, strategy={report['strategy']}, "
                 f"wall={report['wall_ms']:.2f} ms, "
                 f"model-replay={report['simulated_ms']:.2f} ms"
             )
+            parts = report.get("partitions")
+            if parts:
+                summary += (
+                    f", partitions={parts['scanned']}/{parts['total']} "
+                    f"scanned ({parts['pruned']} pruned)"
+                )
+            print(summary)
         return 0
     plan = db.explain(query)
+    parts = plan.get("partitions")
+    if parts:
+        print(
+            f"partitions: {parts['scanned']}/{parts['total']} scanned, "
+            f"{parts['pruned']} pruned by zone maps"
+        )
     for name, ms in sorted(plan["predictions"].items(), key=lambda kv: kv[1]):
         marker = "  <- chosen" if name == plan["chosen"] else ""
         print(f"{name:>14}: {ms:9.2f} ms predicted{marker}")

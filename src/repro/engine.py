@@ -279,7 +279,7 @@ class Database:
                 query,
                 constants=self.constants,
                 resident=self.pool.resident_fraction(
-                    projection.column(query.all_columns[0]).file(
+                    projection.physical_column(query.all_columns[0]).file(
                         query.encoding_map.get(query.all_columns[0])
                     )
                 ),
@@ -322,6 +322,14 @@ class Database:
             encodings=getattr(query, "encoding_map", {}).values(),
             slow_threshold_ms=self.slow_query_ms,
         )
+        extra = result.stats.extra
+        if "partitions_total" in extra:
+            self.metrics.counter("partitions_scanned_total").inc(
+                extra.get("partitions_scanned", 0)
+            )
+            self.metrics.counter("partitions_pruned_total").inc(
+                extra.get("partitions_pruned", 0)
+            )
         return result
 
     def _pending_table(self, *names) -> str | None:
@@ -441,12 +449,13 @@ class Database:
             pending_cols = self.delta.columns(table, schemas)
             data = {}
             for col in proj.column_names:
-                stored = proj.column(col).file().read_all_values()
+                stored = proj.read_column_values(col)
                 data[col] = __import__("numpy").concatenate(
                     (stored, pending_cols[col])
                 )
             encodings = {
-                col: proj.column(col).encodings for col in proj.column_names
+                col: proj.physical_column(col).encodings
+                for col in proj.column_names
             }
             self.catalog.replace_projection(
                 proj.name,
@@ -455,6 +464,7 @@ class Database:
                 sort_keys=list(proj.sort_keys),
                 encodings=encodings,
                 anchor=proj.anchor,
+                partitions=max(len(proj.partitions), 1),
             )
         self.delta.clear(table)
         self.clear_cache()  # stale payloads for the replaced files
@@ -557,7 +567,7 @@ class Database:
             from .planner.describe import render_span_tree
 
             result = self.query(query, strategy=strategy, trace=True)
-            return {
+            report = {
                 "strategy": result.strategy,
                 "rows": result.n_rows,
                 "wall_ms": result.wall_ms,
@@ -566,6 +576,14 @@ class Database:
                 "text": render_span_tree(result.spans, self.constants),
                 "json": result.spans.to_dict(self.constants),
             }
+            extra = result.stats.extra
+            if "partitions_total" in extra:
+                report["partitions"] = {
+                    "total": extra["partitions_total"],
+                    "scanned": extra.get("partitions_scanned", 0),
+                    "pruned": extra.get("partitions_pruned", 0),
+                }
+            return report
         if isinstance(query, JoinQuery):
             from .model.predictor import predict_join
 
@@ -599,13 +617,24 @@ class Database:
         best, predictions = choose_strategy(
             projection, query, constants=self.constants, resident=resident
         )
-        return {
+        report = {
             "chosen": best.value,
             "predictions": {
                 s.value: p.total_ms for s, p in predictions.items()
             },
             "details": predictions,
         }
+        if projection.is_partitioned:
+            from .planner.partitioned import prune_partitions
+
+            survivors, total = prune_partitions(projection, query)
+            report["partitions"] = {
+                "total": total,
+                "scanned": len(survivors),
+                "pruned": total - len(survivors),
+                "survivors": [p.name for p in survivors],
+            }
+        return report
 
     def _decoders(self, projection: Projection, columns) -> dict:
         out = {}

@@ -20,6 +20,7 @@ from ..planner.estimate import (
     estimate_read_fraction,
     estimate_selectivity,
 )
+from ..errors import CatalogError, StorageError
 from ..predicates import combine_column_predicates
 from ..planner.logical import JoinQuery, SelectQuery
 from ..planner.strategies import RightTableStrategy, Strategy
@@ -142,6 +143,10 @@ def predict_select(
     Args:
         resident: the model's F for first-access columns (0 = cold cache).
     """
+    if projection.is_partitioned:
+        return _predict_partitioned(
+            projection, query, strategy, constants, resident
+        )
     k = constants
     metas, sfs, ordered, fragments, fractions, indexed = _query_metadata(
         projection, query, resident
@@ -266,6 +271,48 @@ def predict_select(
             ),
         )
         pred.add(*_em_tail(query, survivors, out_tuples, k))
+    return pred
+
+
+def _predict_partitioned(
+    projection: Projection,
+    query: SelectQuery,
+    strategy: Strategy,
+    constants: ModelConstants,
+    resident: float,
+) -> PlanPrediction:
+    """Partitioned prediction: the sum over surviving partitions.
+
+    Each survivor is predicted as an independent sub-plan over its child
+    projection (whose block counts, run lengths and histograms describe
+    exactly the rows the executor will touch), so the whole-query prediction
+    — and EXPLAIN's per-step attribution — stays exact under pruning. A
+    fully pruned query predicts (and costs) zero.
+    """
+    from ..planner.partitioned import prune_partitions
+
+    survivors, _total = prune_partitions(projection, query)
+    pred = PlanPrediction(strategy=strategy.value)
+    for part in survivors:
+        try:
+            child = predict_select(
+                part.open(),
+                query,
+                strategy,
+                constants=constants,
+                resident=resident,
+            )
+        except CatalogError:
+            raise
+        except (StorageError, OSError) as exc:
+            # Prediction reads block headers; a lost partition file must
+            # surface as a catalog failure naming the partition here too.
+            raise CatalogError(
+                f"partition {part.name!r} of projection "
+                f"{projection.name!r} is unreadable: {exc}"
+            ) from exc
+        for name, cost in child.steps:
+            pred.add(f"{part.name}:{name}", cost)
     return pred
 
 

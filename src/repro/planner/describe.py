@@ -109,8 +109,33 @@ def _pred_lines(projection, query, col_preds, indent="    ") -> list[str]:
 def describe_plan(
     projection: Projection, query: SelectQuery, strategy: Strategy
 ) -> str:
-    """Render the physical operator tree for *query* under *strategy*."""
+    """Render the physical operator tree for *query* under *strategy*.
+
+    Partitioned projections render the zone-map pruning outcome first, then
+    each surviving partition's sub-plan (indented, header dropped) — the
+    same shape per-partition execution fans out.
+    """
     from ..predicates import combine_column_predicates
+
+    if projection.is_partitioned:
+        from .partitioned import prune_partitions
+
+        survivors, total = prune_partitions(projection, query)
+        lines = [
+            f"{strategy.value} plan over range-partitioned projection "
+            f"{projection.name!r} "
+            f"({len(survivors)}/{total} partitions after zone-map pruning)"
+        ]
+        if not survivors:
+            lines.append(
+                "  all partitions pruned: zone maps exclude every predicate"
+            )
+            return "\n".join(lines)
+        for part in survivors:
+            lines.append(f"  {part.name} ({part.n_rows} rows)")
+            sub = describe_plan(part.open(), query, strategy)
+            lines.extend("  " + line for line in sub.splitlines()[1:])
+        return "\n".join(lines)
 
     by_column: dict[str, list] = {}
     source = query.disjuncts if query.disjuncts else (query.predicates,)

@@ -21,7 +21,9 @@ def _applicable_strategies(projection: Projection, query) -> list:
     if len(pred_cols) > 1:
         enc = query.encoding_map
         for col in pred_cols:
-            cf = projection.column(col).file(enc.get(col))
+            # physical_column: a partitioned parent has schema-only columns;
+            # any partition answers encoding questions for all of them.
+            cf = projection.physical_column(col).file(enc.get(col))
             if not cf.encoding.supports_position_filtering:
                 strategies.remove(Strategy.LM_PIPELINED)
                 break

@@ -1,0 +1,197 @@
+"""Per-partition execution of selections over range-partitioned projections.
+
+The pipeline has three stages, all visible in the span tree:
+
+* **PRUNE** — intersect the query's predicates with each partition's zone
+  maps (:class:`~repro.storage.partition.ZoneMap`) and keep only the
+  partitions that could contain matches. Pruning is *conservative*: a
+  partition is skipped only when its zone map provably excludes every
+  matching row (``overlaps_range`` is false), so pruned execution returns
+  exactly the unpruned result.
+* **PARTITION** (one span per survivor) — run the ordinary operator tree
+  (:func:`repro.planner.plans.build_select`) over the partition's child
+  projection. Survivors fan out through the scan scheduler when one is
+  configured, each leaf with private stats and tracer merged back in
+  partition order, so counters and spans are deterministic however threads
+  interleave.
+* **COMBINE** — stitch the partial results back together. Selections
+  concatenate in partition order (partitions are contiguous chunks of the
+  globally sorted rows, so this reproduces the unpartitioned output order
+  exactly); aggregates re-combine partial aggregates by group key using the
+  same AVG -> SUM+COUNT rewrite the writable-store merge uses
+  (:func:`repro.delta.internal_query` / :func:`repro.delta.merge_aggregates`).
+
+HAVING / ORDER BY / LIMIT and the output drain run exactly once, over the
+combined result, matching the unpartitioned tail.
+"""
+
+from __future__ import annotations
+
+from ..delta import internal_query, merge_aggregates
+from ..errors import (
+    CatalogError,
+    CorruptBlockError,
+    StorageError,
+    UnsupportedOperationError,
+)
+from ..operators import ExecutionContext, TupleSet, drain
+from ..storage.partition import PartitionInfo
+from ..storage.projection import Projection
+from .logical import SelectQuery
+from .plans import _apply_having, _grouped_predicates, _order_and_limit, build_select
+from .strategies import Strategy
+
+
+def _zone_overlaps(part: PartitionInfo, predicates) -> bool:
+    """Could this partition hold a row satisfying the whole conjunction?"""
+    for col, pred in _grouped_predicates(predicates).items():
+        zone = part.zone_maps.get(col)
+        if zone is not None and not pred.overlaps_range(
+            zone.min_value, zone.max_value
+        ):
+            return False
+    return True
+
+
+def partition_may_match(part: PartitionInfo, query: SelectQuery) -> bool:
+    """Zone-map admission test for one partition.
+
+    Conjunctions survive only when every column predicate overlaps the
+    partition's zone map; a disjunction survives when *any* of its
+    conjunction groups does. Both directions are conservative — compound
+    per-column predicates use :meth:`ColumnConjunction.overlaps_range`,
+    which never rules out a satisfiable partition.
+    """
+    if query.disjuncts:
+        return any(_zone_overlaps(part, group) for group in query.disjuncts)
+    return _zone_overlaps(part, query.predicates)
+
+
+def prune_partitions(
+    projection: Projection, query: SelectQuery
+) -> tuple[list[PartitionInfo], int]:
+    """Partitions that may contain matches, plus the total partition count."""
+    survivors = [
+        part
+        for part in projection.partitions
+        if partition_may_match(part, query)
+    ]
+    return survivors, len(projection.partitions)
+
+
+def _partition_task(
+    projection: Projection,
+    part: PartitionInfo,
+    query: SelectQuery,
+    strategy: Strategy,
+):
+    """One scan-scheduler task: the full sub-plan over one partition.
+
+    Storage-level failures opening the partition (missing directory or
+    column file, unreadable header) are translated to a
+    :class:`~repro.errors.CatalogError` naming the partition — a partitioned
+    query never silently returns the other partitions' rows.
+    :class:`~repro.errors.CorruptBlockError` passes through untranslated so
+    a mid-scan corruption keeps its span-truncation semantics.
+    """
+
+    def task(ctx: ExecutionContext) -> TupleSet:
+        span = ctx.begin("PARTITION")
+        try:
+            child = part.open()
+            result = build_select(ctx, child, query, strategy)
+        except (CorruptBlockError, CatalogError):
+            raise
+        except (StorageError, OSError) as exc:
+            raise CatalogError(
+                f"partition {part.name!r} of projection "
+                f"{projection.name!r} is unreadable: {exc}"
+            ) from exc
+        if span is not None:
+            ctx.end(span, partition=part.name, rows=result.n_tuples)
+        return result
+
+    return task
+
+
+def execute_partitioned_select(
+    ctx: ExecutionContext,
+    projection: Projection,
+    query: SelectQuery,
+    strategy: Strategy,
+) -> TupleSet:
+    """Prune, fan out, and re-combine a selection over a partitioned projection."""
+    if any(s.func == "count_distinct" for s in query.aggregates):
+        raise UnsupportedOperationError(
+            "count(distinct) partials cannot be re-combined across "
+            "partitions; query an unpartitioned projection instead"
+        )
+    span = ctx.begin("PRUNE")
+    survivors, total = prune_partitions(projection, query)
+    extra = ctx.stats.extra
+    extra["partitions_total"] = extra.get("partitions_total", 0) + total
+    extra["partitions_scanned"] = (
+        extra.get("partitions_scanned", 0) + len(survivors)
+    )
+    extra["partitions_pruned"] = (
+        extra.get("partitions_pruned", 0) + (total - len(survivors))
+    )
+    if span is not None:
+        ctx.end(
+            span,
+            partitions=total,
+            scanned=len(survivors),
+            pruned=total - len(survivors),
+            survivors=[p.name for p in survivors],
+        )
+    # The same rewrite the writable-store merge uses: strip ORDER BY / LIMIT
+    # / HAVING (applied once, after the combine) and expand AVG into
+    # mergeable SUM + COUNT partials. Idempotent, so a query the delta path
+    # already rewrote passes through unchanged.
+    sub_query, plan = internal_query(query)
+    partials = ctx.map_leaves(
+        [
+            _partition_task(projection, part, sub_query, strategy)
+            for part in survivors
+        ]
+    )
+    merged = _combine(ctx, query, sub_query, plan, partials)
+    merged = _apply_having(ctx, merged, query)
+    merged = _order_and_limit(ctx, merged, query)
+    return drain(ctx, merged)
+
+
+def _combine(
+    ctx: ExecutionContext,
+    query: SelectQuery,
+    sub_query: SelectQuery,
+    plan: dict,
+    partials: list[TupleSet],
+) -> TupleSet:
+    """Deterministically merge per-partition results (partition order)."""
+    if not partials:
+        return TupleSet.empty(tuple(query.select))
+    if not query.aggregates:
+        if len(partials) == 1:
+            return partials[0]
+        return TupleSet.concat(partials)
+    span = ctx.begin("COMBINE")
+    # Partial aggregates re-combine by group key exactly like stored-plus-
+    # pending results do; the recombination touches every partial row once.
+    ctx.stats.tuple_iterations += sum(p.n_tuples for p in partials)
+    rest = (
+        TupleSet.concat(partials[1:])
+        if len(partials) > 1
+        else TupleSet.empty(partials[0].columns)
+    )
+    merged = merge_aggregates(
+        partials[0],
+        rest,
+        list(sub_query.group_columns),
+        list(sub_query.aggregates),
+        plan,
+        list(query.select),
+    )
+    if span is not None:
+        ctx.end(span, partitions=len(partials), rows=merged.n_tuples)
+    return merged

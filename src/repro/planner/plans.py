@@ -77,6 +77,31 @@ def execute_select(
     strategy: Strategy,
 ) -> TupleSet:
     """Run *query* over *projection* with the given materialization strategy."""
+    if projection.is_partitioned:
+        # Range-partitioned projections fan out per partition after zone-map
+        # pruning; the per-partition sub-plans run build_select below.
+        from .partitioned import execute_partitioned_select
+
+        return execute_partitioned_select(ctx, projection, query, strategy)
+    result = build_select(ctx, projection, query, strategy)
+    result = _apply_having(ctx, result, query)
+    result = _order_and_limit(ctx, result, query)
+    return drain(ctx, result)
+
+
+def build_select(
+    ctx: ExecutionContext,
+    projection: Projection,
+    query: SelectQuery,
+    strategy: Strategy,
+) -> TupleSet:
+    """The operator-tree core of a selection: everything up to (but not
+    including) HAVING, ORDER BY, LIMIT, and the output drain.
+
+    Per-partition execution runs this once per surviving partition and
+    applies the shared tail exactly once over the merged result, so output
+    iteration is never double-charged.
+    """
     files = _column_files(projection, query, query.all_columns)
     if query.disjuncts:
         # Disjunctive WHERE clauses run on the position-set union path:
@@ -84,24 +109,17 @@ def execute_select(
         # together the appropriate bitmaps" (paper §2.1.1). Late
         # materialization is the natural home for OR, whatever strategy the
         # caller named.
-        result = _lm_disjunction(ctx, projection, files, query)
-        result = _apply_having(ctx, result, query)
-        result = _order_and_limit(ctx, result, query)
-        return drain(ctx, result)
+        return _lm_disjunction(ctx, projection, files, query)
     col_preds = _grouped_predicates(query.predicates)
     if strategy is Strategy.EM_PARALLEL:
-        result = _em_parallel(ctx, files, col_preds, query)
-    elif strategy is Strategy.EM_PIPELINED:
-        result = _em_pipelined(ctx, files, col_preds, query)
-    elif strategy is Strategy.LM_PARALLEL:
-        result = _lm_parallel(ctx, projection, files, col_preds, query)
-    elif strategy is Strategy.LM_PIPELINED:
-        result = _lm_pipelined(ctx, projection, files, col_preds, query)
-    else:  # pragma: no cover - enum is closed
-        raise PlanError(f"unknown strategy {strategy}")
-    result = _apply_having(ctx, result, query)
-    result = _order_and_limit(ctx, result, query)
-    return drain(ctx, result)
+        return _em_parallel(ctx, files, col_preds, query)
+    if strategy is Strategy.EM_PIPELINED:
+        return _em_pipelined(ctx, files, col_preds, query)
+    if strategy is Strategy.LM_PARALLEL:
+        return _lm_parallel(ctx, projection, files, col_preds, query)
+    if strategy is Strategy.LM_PIPELINED:
+        return _lm_pipelined(ctx, projection, files, col_preds, query)
+    raise PlanError(f"unknown strategy {strategy}")  # pragma: no cover
 
 
 def _apply_having(

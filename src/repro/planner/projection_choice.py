@@ -81,14 +81,30 @@ def resolve_projection(
 def resolve_join_side(
     catalog: Catalog, name: str, needed_columns: list[str]
 ) -> Projection:
-    """Pick a projection of *name* covering the join's needed columns."""
+    """Pick a projection of *name* covering the join's needed columns.
+
+    Partitioned projections cannot serve as a join side (the join operators
+    address one contiguous position space); they are skipped, and if only
+    partitioned candidates cover the columns the query is rejected rather
+    than silently mis-executed.
+    """
     candidates = catalog.candidates(name)
     if not candidates:
         raise CatalogError(f"unknown projection or table {name!r}")
     needed = set(needed_columns)
+    partitioned_only = None
     for projection in candidates:
         if needed <= set(projection.column_names):
+            if projection.is_partitioned:
+                partitioned_only = projection
+                continue
             return projection
+    if partitioned_only is not None:
+        raise UnsupportedOperationError(
+            f"projection {partitioned_only.name!r} is range-partitioned and "
+            "cannot be a join side; store an unpartitioned covering "
+            "projection for joins"
+        )
     raise CatalogError(
         f"no projection of {name!r} covers columns {sorted(needed)}"
     )

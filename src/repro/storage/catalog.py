@@ -21,6 +21,9 @@ class Catalog:
         self._discover()
 
     def _discover(self) -> None:
+        # Single-level glob on purpose: partition children live one level
+        # deeper (<projection>/partNNNN/) and are reachable only through
+        # their parent's metadata, never as catalog entries of their own.
         for meta in sorted(self.root.glob(f"*/{META_FILE}")):
             proj = Projection.open(meta.parent)
             self._projections[proj.name] = proj
@@ -34,8 +37,14 @@ class Catalog:
         encodings: dict[str, list[str]],
         presorted: bool = False,
         anchor: str | None = None,
+        partitions: int = 1,
     ) -> Projection:
-        """Create and register a new projection (fails if the name exists)."""
+        """Create and register a new projection (fails if the name exists).
+
+        ``partitions`` above one range-partitions the projection on its sort
+        order: contiguous row chunks become child projections with zone maps
+        (see :mod:`repro.storage.partition`).
+        """
         if name in self._projections:
             raise CatalogError(f"projection {name!r} already exists")
         proj = Projection.create(
@@ -47,6 +56,7 @@ class Catalog:
             encodings,
             presorted=presorted,
             anchor=anchor,
+            partitions=partitions,
         )
         self._projections[name] = proj
         return proj
@@ -59,11 +69,12 @@ class Catalog:
         sort_keys,
         encodings,
         anchor=None,
+        partitions: int = 1,
     ) -> Projection:
         """Atomically swap a projection's contents (the tuple mover's write).
 
         The old directory is removed and the projection recreated with the
-        given data under the same name.
+        given data under the same name (and partition count).
         """
         import shutil
 
@@ -71,7 +82,13 @@ class Catalog:
             shutil.rmtree(self._projections[name].directory, ignore_errors=True)
             del self._projections[name]
         return self.create_projection(
-            name, data, schemas, sort_keys, encodings, anchor=anchor
+            name,
+            data,
+            schemas,
+            sort_keys,
+            encodings,
+            anchor=anchor,
+            partitions=partitions,
         )
 
     def drop_projection(self, name: str) -> None:

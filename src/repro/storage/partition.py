@@ -1,0 +1,108 @@
+"""Horizontal range partitions of a projection.
+
+A partitioned projection splits its (globally sorted) rows into N contiguous
+chunks, each stored as a full child projection under ``partNNNN/`` inside the
+parent's directory. Because the split respects the sort order, every
+partition covers a contiguous sort-key range, and the per-partition,
+per-column min/max **zone maps** recorded here let the planner discard whole
+partitions before any DS operator runs — the partition-level analogue of the
+per-block min/max skipping in :mod:`repro.storage.stats`.
+
+Zone maps are persisted inside the parent's ``projection.json``; the child
+projections carry their own column files, block descriptors, and clustered
+indexes, so per-partition execution reuses the ordinary operator stack
+unchanged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..errors import CatalogError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .projection import Projection
+
+#: Child-directory naming scheme; the zero padding keeps partition order
+#: and lexicographic order identical.
+PARTITION_DIR_FORMAT = "part{index:04d}"
+
+
+@dataclass(frozen=True)
+class ZoneMap:
+    """Closed [min, max] interval of one column's values inside a partition."""
+
+    min_value: int
+    max_value: int
+
+    def as_dict(self) -> dict:
+        return {"min": self.min_value, "max": self.max_value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ZoneMap":
+        return cls(min_value=int(data["min"]), max_value=int(data["max"]))
+
+
+@dataclass
+class PartitionInfo:
+    """One horizontal range partition: its location, size, and zone maps."""
+
+    name: str
+    directory: Path
+    n_rows: int
+    zone_maps: dict[str, ZoneMap]
+    _projection: "Projection | None" = field(default=None, repr=False)
+
+    def open(self) -> "Projection":
+        """Open (and cache) the child projection backing this partition.
+
+        Failures — a missing or unreadable partition directory — surface as
+        :class:`~repro.errors.CatalogError` naming the partition, never as a
+        partial result.
+        """
+        if self._projection is None:
+            from .projection import Projection
+
+            try:
+                self._projection = Projection.open(self.directory)
+            except CatalogError as exc:
+                raise CatalogError(
+                    f"partition {self.name!r} is unreadable: {exc}"
+                ) from exc
+            except (OSError, ValueError, KeyError) as exc:
+                # Mangled projection.json (bad JSON, missing keys) must also
+                # surface as a catalog failure naming the partition.
+                raise CatalogError(
+                    f"partition {self.name!r} has corrupt metadata: {exc}"
+                ) from exc
+        return self._projection
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "n_rows": self.n_rows,
+            "zone_maps": {
+                col: zm.as_dict() for col, zm in self.zone_maps.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict, parent_directory: Path) -> "PartitionInfo":
+        return cls(
+            name=data["name"],
+            directory=parent_directory / data["name"],
+            n_rows=int(data["n_rows"]),
+            zone_maps={
+                col: ZoneMap.from_dict(zm)
+                for col, zm in data["zone_maps"].items()
+            },
+        )
+
+
+def partition_boundaries(n_rows: int, n_partitions: int) -> list[tuple[int, int]]:
+    """Contiguous, near-equal ``[start, stop)`` row ranges covering *n_rows*."""
+    k = max(1, min(n_partitions, n_rows))
+    cuts = [round(i * n_rows / k) for i in range(k + 1)]
+    return [(cuts[i], cuts[i + 1]) for i in range(k)]

@@ -12,6 +12,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import ClassVar
 
 import numpy as np
 
@@ -20,6 +21,12 @@ from ..errors import CatalogError
 from .column_file import ColumnFile, write_column
 from .encoding import encoding_by_name
 from .index import ClusteredIndex
+from .partition import (
+    PARTITION_DIR_FORMAT,
+    PartitionInfo,
+    ZoneMap,
+    partition_boundaries,
+)
 
 META_FILE = "projection.json"
 
@@ -47,14 +54,32 @@ class ProjectionColumn:
     def encodings(self) -> list[str]:
         return sorted(self.files)
 
+    #: Default-encoding preference, cheapest to scan first. ``file(None)``
+    #: walks this tuple in order; anything not listed loses alphabetically.
+    DEFAULT_ENCODING_ORDER: ClassVar[tuple[str, ...]] = (
+        "rle",
+        "dictionary",
+        "for",
+        "uncompressed",
+        "bitvector",
+    )
+
     def file(self, encoding: str | None = None) -> ColumnFile:
         """Open (and cache) the column file for *encoding*.
 
-        With ``encoding=None`` the cheapest stored representation is chosen:
-        RLE when available, then uncompressed, then bit-vector.
+        With ``encoding=None`` the cheapest stored representation is chosen
+        by walking :data:`DEFAULT_ENCODING_ORDER`: RLE when available, then
+        dictionary, then frame-of-reference, then uncompressed, and
+        bit-vector only as a last resort (its per-value materialization is
+        the costliest decode path).
         """
+        if not self.files:
+            raise CatalogError(
+                f"column {self.schema.name!r} has no physical files here "
+                "(partitioned projections store data in their partitions)"
+            )
         if encoding is None:
-            for preferred in ("rle", "dictionary", "for", "uncompressed", "bitvector"):
+            for preferred in self.DEFAULT_ENCODING_ORDER:
                 if preferred in self.files:
                     encoding = preferred
                     break
@@ -72,7 +97,15 @@ class ProjectionColumn:
 
 @dataclass
 class Projection:
-    """A sorted column group persisted under one directory."""
+    """A sorted column group persisted under one directory.
+
+    A projection may be **range-partitioned**: its sorted rows split into
+    contiguous chunks, each a child projection under ``partNNNN/``, with
+    per-partition zone maps held in :attr:`partitions`. A partitioned parent
+    keeps only schemas — its :class:`ProjectionColumn` entries have no files
+    — and execution fans out over the children (see
+    :mod:`repro.planner.partitioned`).
+    """
 
     name: str
     directory: Path
@@ -80,6 +113,7 @@ class Projection:
     sort_keys: list[str]
     columns: dict[str, ProjectionColumn]
     anchor: str | None = None
+    partitions: list[PartitionInfo] = field(default_factory=list)
 
     @classmethod
     def create(
@@ -92,6 +126,7 @@ class Projection:
         encodings: dict[str, list[str]],
         presorted: bool = False,
         anchor: str | None = None,
+        partitions: int = 1,
     ) -> "Projection":
         """Sort *data* by *sort_keys* and write one file per column encoding.
 
@@ -106,6 +141,10 @@ class Projection:
             anchor: logical table this projection belongs to. C-Store stores
                 one table as several differently-sorted projections; queries
                 naming the anchor are routed to the best-fitting projection.
+            partitions: number of horizontal range partitions. Values above
+                one split the sorted rows into that many contiguous chunks
+                (clamped to the row count), each stored as a child
+                projection with its own zone maps.
         """
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
@@ -124,6 +163,19 @@ class Projection:
         if sort_keys and not presorted and n_rows:
             order = np.lexsort([data[k] for k in reversed(sort_keys)])
             data = {col: np.ascontiguousarray(v[order]) for col, v in data.items()}
+
+        if partitions > 1 and n_rows > 1:
+            return cls._create_partitioned(
+                directory,
+                name,
+                data,
+                schemas,
+                sort_keys,
+                encodings,
+                anchor,
+                partitions,
+                n_rows,
+            )
 
         columns: dict[str, ProjectionColumn] = {}
         # A clustered index is possible exactly for the primary sort key —
@@ -156,12 +208,80 @@ class Projection:
         proj._write_meta()
         return proj
 
+    @classmethod
+    def _create_partitioned(
+        cls,
+        directory: Path,
+        name: str,
+        data: dict[str, np.ndarray],
+        schemas: dict[str, ColumnSchema],
+        sort_keys: list[str],
+        encodings: dict[str, list[str]],
+        anchor: str | None,
+        n_partitions: int,
+        n_rows: int,
+    ) -> "Projection":
+        """Write the already-sorted rows as contiguous child projections.
+
+        Each chunk becomes a full projection (files, block descriptors,
+        clustered index) in its own ``partNNNN/`` subdirectory; the parent
+        keeps schema-only columns plus per-partition zone maps in its
+        metadata.
+        """
+        infos: list[PartitionInfo] = []
+        for i, (start, stop) in enumerate(
+            partition_boundaries(n_rows, n_partitions)
+        ):
+            part_name = PARTITION_DIR_FORMAT.format(index=i)
+            chunk = {
+                col: np.ascontiguousarray(values[start:stop])
+                for col, values in data.items()
+            }
+            child = cls.create(
+                directory / part_name,
+                f"{name}/{part_name}",
+                chunk,
+                schemas,
+                sort_keys,
+                encodings,
+                presorted=True,  # chunks of a sorted array stay sorted
+                anchor=None,
+            )
+            zone_maps = {
+                col: ZoneMap(int(values.min()), int(values.max()))
+                for col, values in chunk.items()
+            }
+            infos.append(
+                PartitionInfo(
+                    name=part_name,
+                    directory=directory / part_name,
+                    n_rows=stop - start,
+                    zone_maps=zone_maps,
+                    _projection=child,
+                )
+            )
+        proj = cls(
+            name=name,
+            directory=directory,
+            n_rows=n_rows,
+            sort_keys=list(sort_keys),
+            columns={
+                col: ProjectionColumn(schema=schemas[col], files={})
+                for col in data
+            },
+            anchor=anchor,
+            partitions=infos,
+        )
+        proj._write_meta()
+        return proj
+
     def _write_meta(self) -> None:
         meta = {
             "name": self.name,
             "n_rows": self.n_rows,
             "sort_keys": self.sort_keys,
             "anchor": self.anchor,
+            "partitions": [p.as_dict() for p in self.partitions],
             "columns": {
                 col: {
                     "dtype": pc.schema.ctype.name,
@@ -209,6 +329,44 @@ class Projection:
             sort_keys=list(meta["sort_keys"]),
             columns=columns,
             anchor=meta.get("anchor"),
+            partitions=[
+                PartitionInfo.from_dict(p, directory)
+                for p in meta.get("partitions", [])
+            ],
+        )
+
+    # --------------------------------------------------------- partitioning
+
+    @property
+    def is_partitioned(self) -> bool:
+        return bool(self.partitions)
+
+    def partition(self, name: str) -> PartitionInfo:
+        for part in self.partitions:
+            if part.name == name:
+                return part
+        raise CatalogError(
+            f"projection {self.name!r} has no partition {name!r}"
+        )
+
+    def physical_column(self, name: str) -> ProjectionColumn:
+        """The column's physical incarnation: own files, or the first
+        partition's (every partition shares schemas and encodings, so any
+        one answers metadata questions — encodings, block shape, run
+        lengths — for the whole projection)."""
+        if self.partitions:
+            return self.partitions[0].open().column(name)
+        return self.column(name)
+
+    def read_column_values(self, name: str, encoding: str | None = None):
+        """All stored values of one column, concatenated across partitions."""
+        if not self.partitions:
+            return self.column(name).file(encoding).read_all_values()
+        return np.concatenate(
+            [
+                part.open().column(name).file(encoding).read_all_values()
+                for part in self.partitions
+            ]
         )
 
     def column(self, name: str) -> ProjectionColumn:
@@ -231,8 +389,12 @@ class Projection:
 
         Returns ``{column: {encoding: {bytes, blocks, avg_run_length,
         compression_ratio}}}`` where the ratio is stored bytes over the raw
-        fixed-width footprint (lower is better).
+        fixed-width footprint (lower is better). For a partitioned
+        projection the figures are summed over every partition (run lengths
+        averaged, weighted by blocks).
         """
+        if self.partitions:
+            return self._partitioned_storage_report()
         report: dict = {}
         for col, pc in self.columns.items():
             raw_bytes = max(self.n_rows * pc.schema.ctype.itemsize, 1)
@@ -246,4 +408,31 @@ class Projection:
                     "compression_ratio": round(cf.size_bytes() / raw_bytes, 3),
                 }
             report[col] = per_encoding
+        return report
+
+    def _partitioned_storage_report(self) -> dict:
+        report: dict = {}
+        for part in self.partitions:
+            for col, per_encoding in part.open().storage_report().items():
+                merged = report.setdefault(col, {})
+                raw_bytes = max(self.n_rows * self.schema(col).ctype.itemsize, 1)
+                for enc, entry in per_encoding.items():
+                    acc = merged.setdefault(
+                        enc,
+                        {"bytes": 0, "blocks": 0, "_rl_weighted": 0.0},
+                    )
+                    acc["bytes"] += entry["bytes"]
+                    acc["blocks"] += entry["blocks"]
+                    acc["_rl_weighted"] += (
+                        entry["avg_run_length"] * entry["blocks"]
+                    )
+                    acc["compression_ratio"] = round(
+                        acc["bytes"] / raw_bytes, 3
+                    )
+        for per_encoding in report.values():
+            for acc in per_encoding.values():
+                blocks = max(acc["blocks"], 1)
+                acc["avg_run_length"] = round(
+                    acc.pop("_rl_weighted") / blocks, 2
+                )
         return report

@@ -36,11 +36,16 @@ def load_tpch(
     scale: float = 0.01,
     seed: int = 42,
     linenum_encodings: tuple[str, ...] = ("uncompressed", "rle", "bitvector"),
+    partitions: int = 1,
 ) -> None:
     """Generate and store the paper's three projections at the given scale.
 
     The paper's scale-10 ratios are preserved: |lineitem| = 4 x |orders|,
     |orders| = 10 x |customer| (60 M / 15 M / 1.5 M at scale 10).
+
+    ``partitions`` above one range-partitions the (large, sorted) lineitem
+    projection into that many contiguous chunks with per-partition zone
+    maps; orders and customer stay unpartitioned so joins keep working.
     """
     n_lineitem = lineitem_rows_for_scale(scale)
     n_orders = max(n_lineitem // 4, 1)
@@ -66,6 +71,7 @@ def load_tpch(
             "linenum": list(linenum_encodings),
             "quantity": ["uncompressed"],
         },
+        partitions=partitions,
     )
 
     orders = generate_orders(n_orders, n_customer, seed=seed + 1)

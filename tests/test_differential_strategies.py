@@ -17,6 +17,7 @@ from .differential import (
     QueryGenerator,
     check_span_invariants,
     run_differential,
+    run_partition_differential,
 )
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "20260806"))
@@ -74,3 +75,66 @@ class TestDifferentialStrategies:
                 for strategy in (Strategy.LM_PARALLEL, Strategy.EM_PARALLEL):
                     result = db.query(query, strategy=strategy, trace=True)
                     check_span_invariants(result, db.constants)
+
+
+@pytest.fixture(scope="module")
+def partitioned_pair(tmp_path_factory):
+    """The same logical lineitem data, unpartitioned and 4-way partitioned."""
+    from repro import Database, load_tpch
+
+    root = tmp_path_factory.mktemp("diff_partitioned")
+    plain = Database(root / "plain")
+    load_tpch(plain.catalog, scale=0.002, seed=7)
+    partitioned = Database(root / "partitioned")
+    load_tpch(partitioned.catalog, scale=0.002, seed=7, partitions=4)
+    return plain, partitioned
+
+
+@pytest.fixture(scope="module")
+def partition_report(partitioned_pair):
+    """One shared partitioned sweep: 30 queries x 4 strategies x 2 layouts."""
+    plain, partitioned = partitioned_pair
+    return run_partition_differential(
+        plain, partitioned, n_queries=30, seed=SEED
+    )
+
+
+class TestPartitionedDifferential:
+    """Range partitioning + zone-map pruning must be invisible to results."""
+
+    def test_partitioned_matches_unpartitioned(self, partition_report):
+        assert partition_report.mismatches == [], (
+            f"seed={SEED}: {len(partition_report.mismatches)} partitioned/"
+            f"unpartitioned divergences, "
+            f"first: {partition_report.mismatches[:1]}"
+        )
+
+    def test_partitioned_sweep_is_substantial(self, partition_report):
+        # 30 queries x 4 strategies x 2 layouts = 240 potential runs; the
+        # known LM-pipelined/bit-vector skips must leave >= 200 executions.
+        assert partition_report.queries == 30
+        assert partition_report.runs >= 200, (
+            f"only {partition_report.runs} runs "
+            f"({partition_report.skipped} skipped)"
+        )
+
+    def test_partitioned_encoding_overrides_exercised(self, partition_report):
+        assert len(partition_report.encodings_used) >= 2, (
+            partition_report.encodings_used
+        )
+
+    def test_partitioned_axis_under_parallel_scans(self, tmp_path):
+        # Partition fan-out through the scan scheduler: results and span
+        # invariants must match a fresh serial unpartitioned database.
+        from repro import Database, load_tpch
+
+        root = tmp_path
+        plain = Database(root / "plain")
+        load_tpch(plain.catalog, scale=0.002, seed=7)
+        with Database(root / "partitioned", parallel_scans=2) as partitioned:
+            load_tpch(partitioned.catalog, scale=0.002, seed=7, partitions=4)
+            report = run_partition_differential(
+                plain, partitioned, n_queries=8, seed=SEED + 2
+            )
+        assert report.mismatches == [], report.mismatches[:1]
+        assert report.runs >= 48

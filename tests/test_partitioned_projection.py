@@ -1,0 +1,227 @@
+"""Range-partitioned projection storage, catalog, CLI, and merge behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import Database, Predicate, SelectQuery
+from repro.cli import main
+from repro.dtypes import INT32, ColumnSchema
+from repro.errors import CatalogError
+from repro.storage.partition import PARTITION_DIR_FORMAT, partition_boundaries
+from repro.storage.projection import Projection, ProjectionColumn
+
+N_ROWS = 10_000
+N_PARTITIONS = 4
+
+
+def _make_partitioned(root, partitions=N_PARTITIONS):
+    rng = np.random.default_rng(23)
+    db = Database(root)
+    a = np.sort(rng.integers(0, 500, size=N_ROWS)).astype(np.int32)
+    b = rng.integers(0, 50, size=N_ROWS).astype(np.int32)
+    db.catalog.create_projection(
+        "t",
+        {"a": a, "b": b},
+        schemas={"a": ColumnSchema("a", INT32), "b": ColumnSchema("b", INT32)},
+        sort_keys=["a"],
+        encodings={"a": ["rle", "uncompressed"], "b": ["uncompressed"]},
+        presorted=True,
+        partitions=partitions,
+    )
+    return db, a, b
+
+
+class TestPartitionedStorage:
+    def test_round_trip_partitions_and_zone_maps(self, tmp_path):
+        _, a, b = _make_partitioned(tmp_path)
+        # A fresh open must see the same partition layout and zone maps.
+        proj = Database(tmp_path).projection("t")
+        assert proj.is_partitioned
+        assert len(proj.partitions) == N_PARTITIONS
+        assert sum(p.n_rows for p in proj.partitions) == N_ROWS
+        bounds = partition_boundaries(N_ROWS, N_PARTITIONS)
+        for i, (part, (start, stop)) in enumerate(
+            zip(proj.partitions, bounds)
+        ):
+            assert part.name == PARTITION_DIR_FORMAT.format(index=i)
+            assert part.n_rows == stop - start
+            for col, values in (("a", a), ("b", b)):
+                zone = part.zone_maps[col]
+                chunk = values[start:stop]
+                assert zone.min_value == int(chunk.min())
+                assert zone.max_value == int(chunk.max())
+
+    def test_read_column_values_concatenates_in_order(self, tmp_path):
+        _, a, b = _make_partitioned(tmp_path)
+        proj = Database(tmp_path).projection("t")
+        assert np.array_equal(proj.read_column_values("a"), a)
+        assert np.array_equal(proj.read_column_values("b"), b)
+
+    def test_parent_columns_have_no_files(self, tmp_path):
+        db, _, _ = _make_partitioned(tmp_path)
+        proj = db.projection("t")
+        with pytest.raises(CatalogError, match="partitioned projections"):
+            proj.column("a").file()
+        # physical_column reaches through to a child that does have files.
+        assert proj.physical_column("a").files
+
+    def test_partition_lookup_by_name(self, tmp_path):
+        db, _, _ = _make_partitioned(tmp_path)
+        proj = db.projection("t")
+        part = proj.partition("part0002")
+        assert part.n_rows > 0
+        with pytest.raises(CatalogError, match="part9999"):
+            proj.partition("part9999")
+
+    def test_catalog_does_not_discover_children(self, tmp_path):
+        _make_partitioned(tmp_path)
+        # Child projections live under t/partNNNN but are not catalog
+        # entries of their own.
+        assert Database(tmp_path).catalog.names() == ["t"]
+        assert (tmp_path / "t" / "part0000" / "projection.json").exists()
+
+    def test_storage_report_sums_partitions(self, tmp_path):
+        db, _, _ = _make_partitioned(tmp_path)
+        proj = db.projection("t")
+        report = proj.storage_report()
+        per_child = [
+            part.open().storage_report() for part in proj.partitions
+        ]
+        for col in ("a", "b"):
+            for enc in report[col]:
+                total = sum(c[col][enc]["bytes"] for c in per_child)
+                assert report[col][enc]["bytes"] == total
+                assert 0 < report[col][enc]["compression_ratio"]
+
+    def test_single_partition_request_stays_unpartitioned(self, tmp_path):
+        db, _, _ = _make_partitioned(tmp_path, partitions=1)
+        proj = db.projection("t")
+        assert not proj.is_partitioned
+        assert proj.column("a").files  # data lives in the parent
+
+
+class TestMergePreservesPartitioning:
+    def test_tuple_mover_keeps_partition_count(self, tmp_path):
+        db, a, _ = _make_partitioned(tmp_path)
+        db.insert("t", [{"a": 1_000, "b": 7}, {"a": -3, "b": 9}])
+        moved = db.merge("t")
+        assert moved == 2
+        proj = db.projection("t")
+        assert len(proj.partitions) == N_PARTITIONS
+        assert proj.n_rows == N_ROWS + 2
+        merged = proj.read_column_values("a")
+        assert merged[0] == -3 and merged[-1] == 1_000
+        # Zone maps were rebuilt to cover the new extremes.
+        assert proj.partitions[0].zone_maps["a"].min_value == -3
+        assert proj.partitions[-1].zone_maps["a"].max_value == 1_000
+
+
+class TestDefaultEncodingPreference:
+    """Regression for the ``file(encoding=None)`` preference order.
+
+    The docstring promises: RLE, then dictionary, then frame-of-reference,
+    then uncompressed, with bit-vector only as a last resort.
+    """
+
+    def _projection(self, tmp_path, encodings):
+        values = np.sort(
+            np.random.default_rng(5).integers(0, 6, size=4_000)
+        ).astype(np.int32)
+        return Projection.create(
+            tmp_path / "p",
+            "p",
+            {"v": values},
+            schemas={"v": ColumnSchema("v", INT32)},
+            sort_keys=["v"],
+            encodings={"v": list(encodings)},
+            presorted=True,
+        )
+
+    def test_order_constant_matches_docstring(self):
+        assert ProjectionColumn.DEFAULT_ENCODING_ORDER == (
+            "rle",
+            "dictionary",
+            "for",
+            "uncompressed",
+            "bitvector",
+        )
+        doc = ProjectionColumn.file.__doc__
+        assert "RLE" in doc and "dictionary" in doc
+        assert "frame-of-reference" in doc and "last resort" in doc
+
+    @pytest.mark.parametrize(
+        ("stored", "expected"),
+        [
+            (("bitvector", "uncompressed", "rle"), "rle"),
+            (("uncompressed", "for", "bitvector"), "for"),
+            (("bitvector", "uncompressed"), "uncompressed"),
+            (("bitvector",), "bitvector"),
+        ],
+    )
+    def test_preferred_encoding_selected(self, tmp_path, stored, expected):
+        proj = self._projection(tmp_path, stored)
+        assert proj.column("v").file().encoding.name == expected
+
+    def test_explicit_encoding_still_honored(self, tmp_path):
+        proj = self._projection(tmp_path, ("rle", "bitvector"))
+        assert proj.column("v").file("bitvector").encoding.name == "bitvector"
+
+
+class TestPartitionedCli:
+    @pytest.fixture(scope="class")
+    def cli_db(self, tmp_path_factory):
+        root = tmp_path_factory.mktemp("cli_partitioned")
+        code = main(
+            [
+                "load-tpch",
+                str(root),
+                "--scale",
+                "0.002",
+                "--seed",
+                "7",
+                "--partitions",
+                "4",
+            ]
+        )
+        assert code == 0
+        return root
+
+    def test_load_reports_partitions(self, cli_db, capsys):
+        assert main(["info", str(cli_db)]) == 0
+        out = capsys.readouterr().out
+        assert "range-partitioned: 4 partitions" in out
+        assert "part0000" in out and "part0003" in out
+        # Zone-map intervals are printed per partition.
+        assert "returnflag=[" in out
+
+    def test_query_identical_to_unpartitioned(self, cli_db, tmp_path, capsys):
+        assert main(
+            ["load-tpch", str(tmp_path / "plain"), "--scale", "0.002", "--seed", "7"]
+        ) == 0
+        capsys.readouterr()  # drain the load output
+        sql = (
+            "SELECT shipdate, linenum FROM lineitem "
+            "WHERE returnflag = 'A' AND linenum < 4"
+        )
+        assert main(["query", str(cli_db), sql, "--limit", "5"]) == 0
+        partitioned_out = capsys.readouterr().out
+        assert main(["query", str(tmp_path / "plain"), sql, "--limit", "5"]) == 0
+        plain_out = capsys.readouterr().out
+        # Identical rows and row counts; only timings may differ.
+        assert partitioned_out.splitlines()[:6] == plain_out.splitlines()[:6]
+
+    def test_explain_shows_pruning(self, cli_db, capsys):
+        sql = "SELECT shipdate FROM lineitem WHERE returnflag = 'A'"
+        assert main(["explain", str(cli_db), sql]) == 0
+        out = capsys.readouterr().out
+        assert "scanned" in out and "pruned by zone maps" in out
+
+    def test_explain_analyze_shows_partition_spans(self, cli_db, capsys):
+        sql = "SELECT shipdate FROM lineitem WHERE returnflag = 'A'"
+        assert main(["explain", str(cli_db), sql, "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "PRUNE" in out
+        assert "PARTITION" in out
+        assert "partitions=" in out and "pruned" in out
