@@ -1,0 +1,132 @@
+"""Fault-hook overhead: the disabled injector must be (nearly) free.
+
+The fault-tolerance layer lives on the buffer pool's physical read path
+(`BufferPool._read_with_retry`), which every block read now traverses. Its
+contract is that a database opened *without* a fault injector pays almost
+nothing for the machinery: the hook is one `is None` test and the retry loop
+collapses to a single attempt.
+
+This benchmark runs the paper's selection query (Section 4.1) over the same
+stored data through two engine configurations:
+
+* ``baseline`` — ``Database(root)``: no injector, the common case;
+* ``hooked``   — ``Database(root, fault_injector=FaultInjector([], seed=0))``:
+  the hook enabled with an *empty* schedule, so every physical read consults
+  the injector and matches zero rules.
+
+For each cell it records cold and best-of-N warm wall milliseconds and
+asserts the **warm** totals stay within the 5% acceptance bar (warm scans
+are the steady state the overhead guard protects; best-of-N summed across
+cells keeps the check robust to scheduler noise). Cold ratios are recorded
+in the JSON artifact (``benchmarks/results/BENCH_fault_overhead.json``) for
+trend-watching but not asserted — they include real disk I/O noise.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import Database, FaultInjector
+
+from .harness import record_json, selection_query
+
+SELECTIVITY = 0.02
+
+WARM_REPEATS = 9
+
+CELLS = (
+    ("rle", "em-parallel"),
+    ("uncompressed", "em-pipelined"),
+    ("uncompressed", "lm-parallel"),
+)
+
+#: Acceptance bar: the disabled/empty fault hook costs < 5% warm wall-clock.
+OVERHEAD_LIMIT = 1.05
+
+
+def _measure(db: Database, query, strategy) -> dict:
+    db.clear_cache()
+    t0 = time.perf_counter()
+    cold_result = db.query(query, strategy=strategy)
+    cold_ms = (time.perf_counter() - t0) * 1000.0
+    warm_ms = float("inf")
+    for _ in range(WARM_REPEATS):
+        t0 = time.perf_counter()
+        result = db.query(query, strategy=strategy)
+        warm_ms = min(warm_ms, (time.perf_counter() - t0) * 1000.0)
+    return {
+        "cold_wall_ms": cold_ms,
+        "warm_wall_ms": warm_ms,
+        "rows": result.n_rows,
+        "sim_ms": result.simulated_ms,
+        "cold_sim_ms": cold_result.simulated_ms,
+    }
+
+
+@pytest.fixture(scope="module")
+def overhead_table(bench_db):
+    root = bench_db.catalog.root
+    table: dict[str, dict[str, dict]] = {}
+    configs = {
+        "baseline": dict(),
+        "hooked": dict(fault_injector=FaultInjector([], seed=0)),
+    }
+    for config_name, kwargs in configs.items():
+        with Database(root, **kwargs) as db:
+            cells = {}
+            for encoding, strategy in CELLS:
+                query = selection_query(SELECTIVITY, encoding)
+                cells[f"{encoding}/{strategy}"] = _measure(db, query, strategy)
+            table[config_name] = cells
+    return table
+
+
+def test_fault_layer_identity(overhead_table):
+    """An empty fault schedule changes nothing but wall-clock noise."""
+    for cell_name, base in overhead_table["baseline"].items():
+        hooked = overhead_table["hooked"][cell_name]
+        assert hooked["rows"] == base["rows"], cell_name
+        assert hooked["sim_ms"] == base["sim_ms"], cell_name
+        assert hooked["cold_sim_ms"] == base["cold_sim_ms"], cell_name
+
+
+def test_disabled_hook_overhead(overhead_table):
+    """Warm-scan cost of the fault layer stays under the 5% bar."""
+    totals = {
+        name: sum(cell["warm_wall_ms"] for cell in cells.values())
+        for name, cells in overhead_table.items()
+    }
+    cold_totals = {
+        name: sum(cell["cold_wall_ms"] for cell in cells.values())
+        for name, cells in overhead_table.items()
+    }
+    ratio = totals["hooked"] / totals["baseline"]
+    record_json(
+        "BENCH_fault_overhead",
+        {
+            "selectivity": SELECTIVITY,
+            "warm_repeats": WARM_REPEATS,
+            "limit": OVERHEAD_LIMIT,
+            "warm_overhead_ratio": round(ratio, 4),
+            "cold_overhead_ratio": round(
+                cold_totals["hooked"] / cold_totals["baseline"], 4
+            ),
+            "cells": {
+                config: {
+                    cell: {
+                        "cold_wall_ms": round(v["cold_wall_ms"], 3),
+                        "warm_wall_ms": round(v["warm_wall_ms"], 3),
+                        "rows": v["rows"],
+                    }
+                    for cell, v in cells.items()
+                }
+                for config, cells in overhead_table.items()
+            },
+        },
+    )
+    assert ratio < OVERHEAD_LIMIT, (
+        f"fault-hook warm overhead {ratio:.3f}x exceeds "
+        f"{OVERHEAD_LIMIT:.2f}x"
+    )

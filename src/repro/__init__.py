@@ -40,14 +40,25 @@ from .dtypes import (
 from .engine import Database, QueryResult
 from .errors import (
     CatalogError,
+    CorruptBlockError,
     EncodingError,
     ExecutionError,
     PlanError,
+    QuarantinedPartitionError,
     ReproError,
     SQLError,
     StorageError,
+    TransientIOError,
     UnsupportedOperationError,
 )
+from .faults import (
+    NO_RETRY,
+    FaultInjector,
+    FaultRule,
+    PartitionQuarantine,
+    RetryPolicy,
+)
+from .scrub import ScrubIssue, ScrubReport, scrub_catalog
 from .metrics import REGISTRY, MetricsRegistry, QueryStats
 from .model import PAPER_CONSTANTS, ModelConstants, calibrate_constants
 from .observe import Span, SpanTracer
@@ -99,8 +110,19 @@ __all__ = [
     "StorageError",
     "EncodingError",
     "CatalogError",
+    "CorruptBlockError",
+    "TransientIOError",
+    "QuarantinedPartitionError",
     "PlanError",
     "UnsupportedOperationError",
     "ExecutionError",
     "SQLError",
+    "FaultInjector",
+    "FaultRule",
+    "RetryPolicy",
+    "NO_RETRY",
+    "PartitionQuarantine",
+    "ScrubIssue",
+    "ScrubReport",
+    "scrub_catalog",
 ]

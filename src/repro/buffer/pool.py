@@ -6,6 +6,15 @@ disk model, and prefetches the next ``PF - 1`` blocks of the same file under
 the same seek — matching the ``|C|/PF * SEEK + |C| * READ`` I/O formula. A hit
 increments ``buffer_hits``; the hit fraction is the model's ``F``.
 
+The pool is also where the fault-tolerance layer lives: every physical read
+first consults an optional :class:`~repro.faults.FaultInjector`, and a
+:class:`~repro.errors.TransientIOError` (injected or otherwise) is retried
+under the pool's :class:`~repro.faults.RetryPolicy` — bounded attempts with
+exponential backoff charged to ``simulated_io_us``, ``io_retries`` /
+``io_gave_up`` counters on the caller's stats, and a ``RETRY`` span in the
+observe tree when the query is traced. Cache hits never consult the
+injector: a resident block cannot fail.
+
 The pool is thread-safe: the concurrent scan scheduler runs independent
 column scans from worker threads, and every cache/disk-model mutation happens
 under one reentrant lock. Callers pass their own per-thread
@@ -19,10 +28,13 @@ import threading
 from collections import OrderedDict
 from typing import TYPE_CHECKING
 
+from ..errors import TransientIOError
+from ..faults import FaultInjector, RetryPolicy
 from ..metrics import QueryStats
 from .disk import DiskModel
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..observe import SpanTracer
     from ..storage.column_file import ColumnFile
 
 DEFAULT_CAPACITY_BYTES = 256 * 1024 * 1024
@@ -35,9 +47,15 @@ class BufferPool:
         self,
         capacity_bytes: int = DEFAULT_CAPACITY_BYTES,
         disk: DiskModel | None = None,
+        injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
     ):
         self.capacity_bytes = capacity_bytes
         self.disk = disk if disk is not None else DiskModel()
+        #: Optional fault schedule consulted before every physical read.
+        self.injector = injector
+        #: Retry budget for transient read failures (attempts + backoff).
+        self.retry = retry if retry is not None else RetryPolicy()
         self._cache: OrderedDict[tuple[str, int], bytes] = OrderedDict()
         self._bytes = 0
         self._last_read_index: dict[str, int] = {}
@@ -47,8 +65,16 @@ class BufferPool:
         self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
+        self.total_retries = 0
+        self.total_give_ups = 0
 
-    def get(self, column_file: "ColumnFile", index: int, stats: QueryStats) -> bytes:
+    def get(
+        self,
+        column_file: "ColumnFile",
+        index: int,
+        stats: QueryStats,
+        tracer: "SpanTracer | None" = None,
+    ) -> bytes:
         """Return the payload of block *index*, reading through on a miss."""
         key = (str(column_file.path), index)
         with self._lock:
@@ -59,7 +85,7 @@ class BufferPool:
                 stats.buffer_hits += 1
                 return payload
             self.misses += 1
-            self._fault(column_file, index, stats)
+            self._fault(column_file, index, stats, tracer)
             return self._cache[key]
 
     def contains(self, path: str, index: int) -> bool:
@@ -67,7 +93,13 @@ class BufferPool:
         with self._lock:
             return (path, index) in self._cache
 
-    def _fault(self, column_file: "ColumnFile", index: int, stats: QueryStats) -> None:
+    def _fault(
+        self,
+        column_file: "ColumnFile",
+        index: int,
+        stats: QueryStats,
+        tracer: "SpanTracer | None" = None,
+    ) -> None:
         """Read block *index* (plus prefetch window) into the pool."""
         path = str(column_file.path)
         sequential = self._last_read_index.get(path) == index - 1
@@ -84,12 +116,87 @@ class BufferPool:
                 # SEEK the model never intended.
                 self._last_read_index[path] = block_index
                 continue
-            payload = column_file.read_payload(block_index)
+            payload = self._read_with_retry(
+                column_file, block_index, stats, tracer
+            )
             # Only the first block of the window can pay a seek; the rest of
             # the prefetch window rides the same head position.
             self.disk.charge_read(stats, sequential=sequential or i > 0)
             self._insert(key, payload)
             self._last_read_index[path] = block_index
+
+    def _read_with_retry(
+        self,
+        column_file: "ColumnFile",
+        index: int,
+        stats: QueryStats,
+        tracer: "SpanTracer | None" = None,
+    ) -> bytes:
+        """One physical payload read under the fault hook and retry budget.
+
+        Transient failures are retried up to ``retry.attempts`` total
+        attempts, each retry charging its exponential backoff to the
+        simulated disk clock. A traced recovery (or give-up) appears as one
+        ``RETRY`` span covering every retried attempt. Non-transient errors
+        (checksum corruption, short reads) propagate immediately — retrying
+        cannot fix them.
+        """
+        path = str(column_file.path)
+        span = None
+        backoff_total = 0.0
+        try:
+            for attempt in range(1, self.retry.attempts + 1):
+                try:
+                    if self.injector is not None:
+                        extra_us = self.injector.on_read(path, index, stats)
+                        if extra_us:
+                            stats.simulated_io_us += extra_us
+                            stats.extra["slow_block_us"] = (
+                                stats.extra.get("slow_block_us", 0) + extra_us
+                            )
+                    payload = column_file.read_payload(index)
+                except TransientIOError:
+                    if span is None and tracer is not None:
+                        span = tracer.begin("RETRY")
+                    if attempt >= self.retry.attempts:
+                        stats.io_gave_up += 1
+                        self.total_give_ups += 1
+                        if span is not None:
+                            tracer.end(
+                                span,
+                                file=path,
+                                block=index,
+                                attempts=attempt,
+                                backoff_us=backoff_total,
+                                outcome="gave_up",
+                            )
+                            span = None
+                        raise
+                    stats.io_retries += 1
+                    self.total_retries += 1
+                    backoff = self.retry.backoff_for(attempt)
+                    backoff_total += backoff
+                    stats.simulated_io_us += backoff
+                    continue
+                if span is not None:
+                    tracer.end(
+                        span,
+                        file=path,
+                        block=index,
+                        attempts=attempt,
+                        backoff_us=backoff_total,
+                        outcome="recovered",
+                    )
+                    span = None
+                return payload
+        finally:
+            # A non-transient error (e.g. injected corruption) mid-retry:
+            # close the RETRY span so the tree stays well-formed.
+            if span is not None and tracer is not None:
+                tracer.end(
+                    span, file=path, block=index, outcome="aborted"
+                )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _insert(self, key: tuple[str, int], payload: bytes) -> None:
         self._cache[key] = payload
@@ -133,6 +240,8 @@ class BufferPool:
                 "resident_blocks": len(self._cache),
                 "resident_bytes": self._bytes,
                 "capacity_bytes": self.capacity_bytes,
+                "io_retries": self.total_retries,
+                "io_gave_up": self.total_give_ups,
             }
 
     def __len__(self) -> int:

@@ -7,6 +7,7 @@ Installed as the ``repro`` console script::
     repro query ./db "SELECT shipdate, linenum FROM lineitem \\
         WHERE shipdate < '1994-01-01' AND linenum < 7" --strategy lm-parallel
     repro explain ./db "SELECT ... "
+    repro scrub ./db --deep
     repro calibrate
 """
 
@@ -120,6 +121,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --analyze, emit the span tree as JSON instead of ASCII",
     )
 
+    scrub = sub.add_parser(
+        "scrub",
+        help="verify every stored block's checksum and structure offline",
+    )
+    _add_db_argument(scrub)
+    scrub.add_argument(
+        "--deep",
+        action="store_true",
+        help="also decode each block and validate value counts and bounds",
+    )
+    scrub.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human summary line (JSON report only)",
+    )
+
     sub.add_parser(
         "calibrate", help="measure this machine's Table 2 model constants"
     )
@@ -203,6 +220,12 @@ def cmd_query(args) -> int:
         f"-- {result.n_rows} rows, strategy={result.strategy}, "
         f"wall={result.wall_ms:.1f} ms, model-replay={result.simulated_ms:.1f} ms"
     )
+    if result.degraded:
+        print(
+            "-- DEGRADED: skipped quarantined partitions "
+            + ", ".join(result.skipped_partitions),
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -235,6 +258,12 @@ def cmd_explain(args) -> int:
                     f", partitions={parts['scanned']}/{parts['total']} "
                     f"scanned ({parts['pruned']} pruned)"
                 )
+            if report.get("degraded"):
+                summary += (
+                    ", DEGRADED (skipped "
+                    + ", ".join(report["skipped_partitions"])
+                    + ")"
+                )
             print(summary)
         return 0
     plan = db.explain(query)
@@ -257,6 +286,28 @@ def cmd_explain(args) -> int:
         print()
         print(db.describe(query, strategy=plan["chosen"]))
     return 0
+
+
+def cmd_scrub(args) -> int:
+    """`repro scrub`: offline checksum + structure verification.
+
+    Prints a machine-readable JSON report naming each corrupt file/block;
+    exits 0 when the store is clean, 1 when any damage was found.
+    """
+    import json
+
+    db = Database(args.db)
+    report = db.scrub(deep=args.deep)
+    print(json.dumps(report.to_json(), indent=2))
+    if not args.quiet:
+        status = "clean" if report.clean else f"{len(report.issues)} issue(s)"
+        print(
+            f"-- scrubbed {report.projections_scanned} projections, "
+            f"{report.files_scanned} files, {report.blocks_scanned} blocks: "
+            f"{status}",
+            file=sys.stderr,
+        )
+    return 0 if report.clean else 1
 
 
 def cmd_calibrate(_args) -> int:
@@ -285,6 +336,7 @@ _COMMANDS = {
     "info": cmd_info,
     "query": cmd_query,
     "explain": cmd_explain,
+    "scrub": cmd_scrub,
     "calibrate": cmd_calibrate,
     "reproduce": cmd_reproduce,
 }

@@ -52,15 +52,50 @@ class DeltaStore:
         return self._wal_dir / f"{table}.wal" if self._wal_dir else None
 
     def _recover(self) -> None:
+        """Replay per-table logs, tolerating a torn final line.
+
+        A crash mid-append can leave the last JSON line incomplete; that
+        tail is skipped with a warning (the insert never returned, so the
+        row was never acknowledged) and every complete row is recovered. A
+        malformed line anywhere *before* the tail is real corruption and
+        still raises.
+        """
         import json
+        import logging
 
         for path in sorted(self._wal_dir.glob("*.wal")):
-            rows = []
+            lines = []
             with open(path, encoding="utf-8") as f:
                 for line in f:
                     line = line.strip()
                     if line:
-                        rows.append(json.loads(line))
+                        lines.append(line)
+            rows = []
+            torn = False
+            for i, line in enumerate(lines):
+                try:
+                    rows.append(json.loads(line))
+                except json.JSONDecodeError as exc:
+                    if i == len(lines) - 1:
+                        torn = True
+                        logging.getLogger(__name__).warning(
+                            "%s: skipping torn final WAL line "
+                            "(%d complete rows recovered): %s",
+                            path, len(rows), exc,
+                        )
+                        break
+                    raise CatalogError(
+                        f"{path}: corrupt WAL line {i + 1} of {len(lines)} "
+                        f"(not the torn-tail case): {exc}"
+                    ) from exc
+            if torn:
+                # Drop the torn bytes so later appends cannot land after a
+                # malformed line (which would read as mid-file corruption
+                # at the *next* recovery).
+                with open(path, "w", encoding="utf-8") as f:
+                    for line in lines[:-1]:
+                        f.write(line + "\n")
+                    f.flush()
             if rows:
                 self._rows[path.stem] = rows
 

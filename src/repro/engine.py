@@ -39,6 +39,7 @@ from .delta import (
     merge_aggregates,
 )
 from .errors import CatalogError, ExecutionError, PlanError
+from .faults import FaultInjector, PartitionQuarantine, RetryPolicy
 from .metrics import REGISTRY, MetricsRegistry, QueryStats
 from .model.constants import PAPER_CONSTANTS, ModelConstants
 from .model.cost import simulated_time_ms
@@ -72,6 +73,14 @@ class QueryResult:
     #: Root of the EXPLAIN ANALYZE span tree when the query ran with
     #: ``trace=True``; None otherwise.
     spans: Span | None = None
+    #: True when the query completed over a strict subset of its partitions
+    #: (``Database(on_error="degrade")`` skipped quarantined or failing
+    #: partitions). A degraded result is the clean result restricted to the
+    #: surviving partitions — never silently wrong, always flagged.
+    degraded: bool = False
+    #: Names of the partitions skipped by degraded execution, in partition
+    #: order; empty for a complete result.
+    skipped_partitions: tuple = ()
 
     @property
     def trace(self) -> list | None:
@@ -115,6 +124,16 @@ class QueryResult:
                 f"{stats.positions_intersected} positions intersected"
             ),
         ]
+        if stats.io_retries or stats.io_gave_up:
+            lines.append(
+                f"fault recovery {stats.io_retries} retries, "
+                f"{stats.io_gave_up} reads abandoned"
+            )
+        if self.degraded:
+            lines.append(
+                "DEGRADED       result excludes quarantined partitions: "
+                + ", ".join(self.skipped_partitions)
+            )
         for key, value in sorted(stats.extra.items()):
             lines.append(f"{key:<14} {value}")
         if self.trace:
@@ -154,6 +173,9 @@ class Database:
         parallel_scans: int = 0,
         metrics: MetricsRegistry | None = None,
         slow_query_ms: float | None = None,
+        fault_injector: FaultInjector | None = None,
+        retry: RetryPolicy | None = None,
+        on_error: str = "fail",
     ):
         """Open (or create) a database.
 
@@ -175,10 +197,34 @@ class Database:
             slow_query_ms: wall-clock threshold for this database's entries
                 in the registry's slow-query log. ``None`` uses the
                 registry's own threshold.
+            fault_injector: optional :class:`~repro.faults.FaultInjector`
+                consulted before every physical block read — the test
+                substrate for transient I/O errors, injected corruption and
+                slow blocks. ``None`` (default) skips the hook entirely.
+            retry: :class:`~repro.faults.RetryPolicy` for transient block-
+                read failures (default: 3 attempts, 500 us base backoff
+                charged to simulated time). Pass
+                :data:`repro.faults.NO_RETRY` to fail on first error.
+            on_error: ``"fail"`` (default) aborts a query on the first
+                unrecovered storage error, exactly the historical contract;
+                ``"degrade"`` quarantines a failing partition for the
+                session and completes queries over the survivors, marking
+                results ``degraded=True`` with ``skipped_partitions``.
         """
+        if on_error not in ("fail", "degrade"):
+            raise ValueError(
+                f"on_error must be 'fail' or 'degrade', got {on_error!r}"
+            )
         self.catalog = Catalog(root)
         self.disk = disk if disk is not None else DiskModel()
-        self.pool = BufferPool(pool_capacity_bytes, self.disk)
+        self.pool = BufferPool(
+            pool_capacity_bytes,
+            self.disk,
+            injector=fault_injector,
+            retry=retry,
+        )
+        self.on_error = on_error
+        self.quarantine = PartitionQuarantine()
         self.decoded = (
             DecodedBlockCache(decoded_cache_bytes, pool=self.pool)
             if decoded_cache_bytes > 0
@@ -201,6 +247,11 @@ class Database:
             self.metrics.register_collector(
                 "decoded_cache", self.decoded.metrics
             )
+        if fault_injector is not None:
+            self.metrics.register_collector(
+                "fault_injector", fault_injector.metrics
+            )
+        self.metrics.register_collector("quarantine", self.quarantine.metrics)
         # Pending inserts are WAL-backed under the database root so they
         # survive process restarts until the tuple mover folds them in.
         self.delta = DeltaStore(wal_directory=self.catalog.root / "_wal")
@@ -228,6 +279,11 @@ class Database:
             self.metrics.unregister_collector(
                 "decoded_cache", self.decoded.metrics
             )
+        if self.pool.injector is not None:
+            self.metrics.unregister_collector(
+                "fault_injector", self.pool.injector.metrics
+            )
+        self.metrics.unregister_collector("quarantine", self.quarantine.metrics)
 
     def __enter__(self) -> "Database":
         return self
@@ -246,6 +302,8 @@ class Database:
             decoded=self.decoded,
             scheduler=self.scheduler,
             tracer=SpanTracer(stats) if trace else None,
+            on_error=self.on_error,
+            quarantine=self.quarantine,
         )
 
     @staticmethod
@@ -330,6 +388,19 @@ class Database:
             self.metrics.counter("partitions_pruned_total").inc(
                 extra.get("partitions_pruned", 0)
             )
+        if result.stats.io_retries:
+            self.metrics.counter("io_retries_total").inc(
+                result.stats.io_retries
+            )
+        if result.stats.io_gave_up:
+            self.metrics.counter("io_gave_up_total").inc(
+                result.stats.io_gave_up
+            )
+        if result.degraded:
+            self.metrics.counter("degraded_queries_total").inc()
+            self.metrics.counter("partitions_quarantined_total").inc(
+                extra.get("partitions_quarantined", 0)
+            )
         return result
 
     def _pending_table(self, *names) -> str | None:
@@ -368,6 +439,8 @@ class Database:
             simulated_ms=simulated_time_ms(ctx.stats, self.constants),
             decoders=self._decoders(projection, tuples.columns),
             spans=self._finish_trace(ctx, resolved.value),
+            degraded=bool(ctx.skipped_partitions),
+            skipped_partitions=tuple(ctx.skipped_partitions),
         )
 
     def _select_with_delta(
@@ -515,6 +588,20 @@ class Database:
             spans=self._finish_trace(ctx, resolved.value),
         )
 
+    def scrub(self, deep: bool = False):
+        """Verify every stored block offline; see :mod:`repro.scrub`.
+
+        Walks each catalog projection (and partition children), checking
+        block checksums and structural invariants straight off disk —
+        independent of query traffic, the buffer pool, and any fault
+        injector. Returns a :class:`~repro.scrub.ScrubReport` naming every
+        corrupt file/block; with ``deep=True`` payloads are also decoded
+        and validated against their descriptors.
+        """
+        from .scrub import scrub_catalog
+
+        return scrub_catalog(self.catalog, deep=deep)
+
     def sql(
         self,
         statement: str,
@@ -583,6 +670,11 @@ class Database:
                     "scanned": extra.get("partitions_scanned", 0),
                     "pruned": extra.get("partitions_pruned", 0),
                 }
+            if result.degraded:
+                report["degraded"] = True
+                report["skipped_partitions"] = list(
+                    result.skipped_partitions
+                )
             return report
         if isinstance(query, JoinQuery):
             from .model.predictor import predict_join

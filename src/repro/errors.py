@@ -17,7 +17,41 @@ class StorageError(ReproError):
 
 
 class CorruptBlockError(StorageError):
-    """A block failed checksum or structural validation on read."""
+    """A block failed checksum or structural validation on read.
+
+    The message always names the column file path and the block index, so
+    operators (and the scrubber) can locate the damaged bytes without a
+    stack trace.
+    """
+
+
+class TransientIOError(StorageError):
+    """A block read failed in a way a retry may fix (simulated flaky I/O).
+
+    Raised by the fault-injection layer (:mod:`repro.faults`) to model the
+    transient device errors a production column store retries through. Like
+    :class:`CorruptBlockError`, the message always names the column file
+    path and block index.
+    """
+
+
+class QuarantinedPartitionError(StorageError):
+    """A partition was quarantined after exhausting its error budget.
+
+    Recorded (not raised) when ``Database(on_error="degrade")`` takes a
+    partition out of service for the rest of the session; queries keep
+    completing over the surviving partitions with ``degraded=True``. The
+    recorded entries are readable via ``Database.quarantine.entries()``.
+    """
+
+    def __init__(self, projection: str, partition: str, cause: str):
+        super().__init__(
+            f"partition {partition!r} of projection {projection!r} is "
+            f"quarantined: {cause}"
+        )
+        self.projection = projection
+        self.partition = partition
+        self.cause = cause
 
 
 class EncodingError(StorageError):

@@ -52,8 +52,13 @@ class QueryStats:
       neither feeds the simulated-time replay). These flow end-to-end:
       ``Database.query`` surfaces them on ``QueryResult.stats`` and the
       span tree attributes them per operator.
+    * ``io_retries`` / ``io_gave_up`` — block-read attempts retried after a
+      :class:`~repro.errors.TransientIOError`, and reads abandoned after the
+      retry budget was exhausted (the fault-tolerance layer; retries charge
+      their simulated backoff to ``simulated_io_us``).
     * ``simulated_io_us`` — microseconds the simulated disk model charged
-      (the replayed ``SEEK``/``READ`` terms).
+      (the replayed ``SEEK``/``READ`` terms, plus injected slow-block
+      latency and retry backoff when a fault schedule is active).
 
     The field list is the contract: ``merge``/``reset``/``as_dict`` operate
     reflectively over it, the class docstring documents every field (guarded
@@ -74,6 +79,8 @@ class QueryStats:
     positions_intersected: int = 0
     tuples_output: int = 0
     blocks_skipped: int = 0
+    io_retries: int = 0
+    io_gave_up: int = 0
     simulated_io_us: float = 0.0
 
     extra: dict = field(default_factory=dict)

@@ -255,6 +255,32 @@ class SpanTracer:
                 )
         return self.root
 
+    def unwind(self, span: Span, error: BaseException, **detail) -> None:
+        """Close every open span up to and including *span* as errored.
+
+        The degraded-execution path catches a storage failure *inside* a
+        partition's task and keeps executing; whatever spans the failure cut
+        short (a DS1 scan, a RETRY, the PARTITION span itself) are closed
+        bottom-up with ``status="error"`` — the partitioned analogue of
+        :meth:`finish`'s error path, but scoped to one subtree so the query
+        span stays open for the surviving partitions.
+        """
+        while self._stack:
+            entry = self._stack.pop()
+            if entry[0] is span:
+                self._close(
+                    entry,
+                    {**detail, "error": type(error).__name__},
+                    status="error",
+                )
+                return
+            self._close(
+                entry, {"error": type(error).__name__}, status="error"
+            )
+        raise RuntimeError(  # pragma: no cover - operator bug guard
+            f"span {span.name!r} was not open; cannot unwind to it"
+        )
+
     def adopt(self, leaf: "SpanTracer", error: BaseException | None = None) -> None:
         """Graft a leaf context's spans under the innermost open span.
 

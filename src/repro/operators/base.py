@@ -51,6 +51,18 @@ class ExecutionContext:
     #: ``Database.explain(..., analyze=True)``. None keeps the hot path
     #: untouched (``begin`` returns None without allocating).
     tracer: SpanTracer | None = None
+    #: Storage-failure policy: ``"fail"`` (default) aborts the query on the
+    #: first unrecovered error, bit-for-bit the pre-fault-layer contract;
+    #: ``"degrade"`` quarantines a failing partition and completes the query
+    #: over the survivors, marking the result degraded.
+    on_error: str = "fail"
+    #: Session-scoped quarantine registry (shared with the Database); only
+    #: consulted/updated when ``on_error == "degrade"``.
+    quarantine: "object | None" = None
+    #: Names of partitions this query skipped (already-quarantined ones plus
+    #: any newly quarantined mid-query), in partition order. The engine
+    #: surfaces a non-empty list as ``QueryResult.degraded``.
+    skipped_partitions: list = field(default_factory=list)
 
     def begin(self, operator: str) -> Span | None:
         """Open a span for one operator application (None when not tracing).
@@ -67,10 +79,24 @@ class ExecutionContext:
         if span is not None:
             self.tracer.end(span, **detail)
 
+    def abort(self, span: Span | None, error: BaseException, **detail) -> None:
+        """Close *span* (and anything still open inside it) as errored.
+
+        The degraded-execution path uses this when it swallows a partition's
+        failure: the subtree the exception cut short is truncated in place
+        while the rest of the query keeps tracing. No-op when untraced.
+        """
+        if span is not None:
+            self.tracer.unwind(span, error, **detail)
+
     def read_block(self, column_file: ColumnFile, index: int) -> bytes:
-        """Fetch one block payload through the buffer pool, counting a BIC step."""
+        """Fetch one block payload through the buffer pool, counting a BIC step.
+
+        The tracer rides along so a transient-fault retry inside the pool
+        shows up as a ``RETRY`` span under the reading operator.
+        """
         self.stats.block_iterations += 1
-        return self.pool.get(column_file, index, self.stats)
+        return self.pool.get(column_file, index, self.stats, tracer=self.tracer)
 
     # ---------------------------------------------------- scan fast-path
 
@@ -144,6 +170,8 @@ class ExecutionContext:
             decoded=self.decoded,
             scheduler=None,
             tracer=SpanTracer(stats) if self.tracer is not None else None,
+            on_error=self.on_error,
+            quarantine=self.quarantine,
         )
 
     def map_leaves(

@@ -27,6 +27,8 @@ combined result, matching the unpartitioned tail.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from ..delta import internal_query, merge_aggregates
 from ..errors import (
     CatalogError,
@@ -40,6 +42,14 @@ from ..storage.projection import Projection
 from .logical import SelectQuery
 from .plans import _apply_having, _grouped_predicates, _order_and_limit, build_select
 from .strategies import Strategy
+
+
+@dataclass(frozen=True)
+class _QuarantineSkip:
+    """Sentinel a degraded partition task returns instead of a TupleSet."""
+
+    partition: str
+    error: str
 
 
 def _zone_overlaps(part: PartitionInfo, predicates) -> bool:
@@ -93,20 +103,34 @@ def _partition_task(
     query never silently returns the other partitions' rows.
     :class:`~repro.errors.CorruptBlockError` passes through untranslated so
     a mid-scan corruption keeps its span-truncation semantics.
+
+    Under ``on_error="degrade"`` the task instead *contains* any storage
+    failure: the partition's span subtree is truncated in place, the
+    partition is quarantined for the session, and a :class:`_QuarantineSkip`
+    sentinel is returned so the combine stage can complete over the
+    survivors.
     """
 
-    def task(ctx: ExecutionContext) -> TupleSet:
+    def task(ctx: ExecutionContext) -> TupleSet | _QuarantineSkip:
         span = ctx.begin("PARTITION")
         try:
-            child = part.open()
-            result = build_select(ctx, child, query, strategy)
-        except (CorruptBlockError, CatalogError):
-            raise
+            try:
+                child = part.open()
+                result = build_select(ctx, child, query, strategy)
+            except (CorruptBlockError, CatalogError):
+                raise
+            except (StorageError, OSError) as exc:
+                raise CatalogError(
+                    f"partition {part.name!r} of projection "
+                    f"{projection.name!r} is unreadable: {exc}"
+                ) from exc
         except (StorageError, OSError) as exc:
-            raise CatalogError(
-                f"partition {part.name!r} of projection "
-                f"{projection.name!r} is unreadable: {exc}"
-            ) from exc
+            if ctx.on_error != "degrade":
+                raise
+            if ctx.quarantine is not None:
+                ctx.quarantine.record(projection.name, part.name, exc)
+            ctx.abort(span, exc, partition=part.name, quarantined=True)
+            return _QuarantineSkip(part.name, f"{type(exc).__name__}: {exc}")
         if span is not None:
             ctx.end(span, partition=part.name, rows=result.n_tuples)
         return result
@@ -128,33 +152,59 @@ def execute_partitioned_select(
         )
     span = ctx.begin("PRUNE")
     survivors, total = prune_partitions(projection, query)
+    # Under degraded execution, partitions already quarantined this session
+    # are taken out of the fan-out up front — the query completes over the
+    # rest and is marked degraded. In fail mode the quarantine is never
+    # consulted, preserving the all-or-nothing contract bit-for-bit.
+    pre_skipped: list[str] = []
+    if ctx.on_error == "degrade" and ctx.quarantine is not None:
+        active = []
+        for part in survivors:
+            if ctx.quarantine.is_quarantined(projection.name, part.name):
+                pre_skipped.append(part.name)
+            else:
+                active.append(part)
+        survivors = active
     extra = ctx.stats.extra
     extra["partitions_total"] = extra.get("partitions_total", 0) + total
     extra["partitions_scanned"] = (
         extra.get("partitions_scanned", 0) + len(survivors)
     )
     extra["partitions_pruned"] = (
-        extra.get("partitions_pruned", 0) + (total - len(survivors))
+        extra.get("partitions_pruned", 0) + (total - len(survivors) - len(pre_skipped))
     )
     if span is not None:
-        ctx.end(
-            span,
+        detail = dict(
             partitions=total,
             scanned=len(survivors),
-            pruned=total - len(survivors),
+            pruned=total - len(survivors) - len(pre_skipped),
             survivors=[p.name for p in survivors],
         )
+        if pre_skipped:
+            detail["quarantined"] = pre_skipped
+        ctx.end(span, **detail)
     # The same rewrite the writable-store merge uses: strip ORDER BY / LIMIT
     # / HAVING (applied once, after the combine) and expand AVG into
     # mergeable SUM + COUNT partials. Idempotent, so a query the delta path
     # already rewrote passes through unchanged.
     sub_query, plan = internal_query(query)
-    partials = ctx.map_leaves(
+    results = ctx.map_leaves(
         [
             _partition_task(projection, part, sub_query, strategy)
             for part in survivors
         ]
     )
+    partials = [r for r in results if not isinstance(r, _QuarantineSkip)]
+    newly_failed = [r for r in results if isinstance(r, _QuarantineSkip)]
+    skipped = pre_skipped + [s.partition for s in newly_failed]
+    if skipped:
+        ctx.skipped_partitions.extend(skipped)
+        extra["partitions_quarantined"] = (
+            extra.get("partitions_quarantined", 0) + len(newly_failed)
+        )
+        extra["partitions_skipped"] = (
+            extra.get("partitions_skipped", 0) + len(skipped)
+        )
     merged = _combine(ctx, query, sub_query, plan, partials)
     merged = _apply_having(ctx, merged, query)
     merged = _order_and_limit(ctx, merged, query)

@@ -18,6 +18,14 @@ every generated query on an unpartitioned database and a range-partitioned
 copy of the same data: partitioning plus zone-map pruning is purely
 physical, so both layouts must agree row-for-row under every strategy.
 
+A third, **fault-schedule** axis (:func:`run_fault_differential`) runs every
+query on a clean database and on a database whose block reads fail
+transiently under a seeded :class:`~repro.faults.FaultInjector` with retries
+enabled: recovery is purely physical too, so every faulted execution must
+reproduce the clean rows exactly — and the sweep asserts retries actually
+fired, so the axis cannot silently degrade to a clean-read re-run. The CI
+fault matrix varies the schedule via ``REPRO_FAULT_SEED``.
+
 Known physical limitation: LM-pipelined cannot position-filter bit-vector
 encoded columns (``UnsupportedOperationError``); such runs are recorded as
 skips, not failures.
@@ -46,6 +54,7 @@ class DifferentialReport:
     queries: int = 0
     runs: int = 0
     skipped: int = 0
+    retries: int = 0
     encodings_used: set = field(default_factory=set)
     mismatches: list = field(default_factory=list)
 
@@ -239,4 +248,62 @@ def run_partition_differential(
                     report.record_mismatch(
                         query, strategy.value, reference, rows
                     )
+    return report
+
+
+def run_fault_differential(
+    clean_db,
+    faulted_db,
+    n_queries: int = 60,
+    seed: int = 0,
+    projection: str = "lineitem",
+    strategies=STRATEGIES,
+) -> DifferentialReport:
+    """The fault-schedule axis: transient faults + retries change nothing.
+
+    *clean_db* and *faulted_db* must serve the same stored data;
+    *faulted_db* carries a :class:`~repro.faults.FaultInjector` whose
+    transient rules fail fewer attempts than its
+    :class:`~repro.faults.RetryPolicy` grants, so every read eventually
+    recovers. Each generated query establishes its reference rows on the
+    clean database, then runs **cold** (physical reads, so faults actually
+    fire) under every strategy on the faulted database with the injector's
+    attempt counters reset per run; every faulted execution must match the
+    clean rows, never give up, and satisfy the span-tree invariants (the
+    extra ``RETRY`` spans and their simulated backoff are part of the
+    accounted tree). ``report.retries`` totals the retries observed so
+    callers can assert the axis really injected faults.
+    """
+    gen = QueryGenerator(clean_db, projection=projection, seed=seed)
+    injector = faulted_db.pool.injector
+    report = DifferentialReport()
+    for _ in range(n_queries):
+        query = gen.next_query()
+        report.queries += 1
+        report.encodings_used.update(dict(query.encodings).values())
+        # EM strategies support every encoding, so the reference never skips.
+        reference = sorted(
+            clean_db.query(query, strategy=Strategy.EM_PARALLEL).rows()
+        )
+        for strategy in strategies:
+            injector.reset()
+            try:
+                result = faulted_db.query(
+                    query, strategy=strategy, cold=True, trace=True
+                )
+            except UnsupportedOperationError:
+                report.skipped += 1
+                continue
+            report.runs += 1
+            report.retries += result.stats.io_retries
+            assert result.stats.io_gave_up == 0, (
+                "retry budget must outlast the transient schedule"
+            )
+            assert not result.degraded, (
+                "transient faults must recover, not quarantine"
+            )
+            check_span_invariants(result, faulted_db.constants)
+            rows = sorted(result.rows())
+            if rows != reference:
+                report.record_mismatch(query, strategy.value, reference, rows)
     return report

@@ -17,10 +17,14 @@ from .differential import (
     QueryGenerator,
     check_span_invariants,
     run_differential,
+    run_fault_differential,
     run_partition_differential,
 )
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "20260806"))
+
+#: Fault-schedule seed for the CI fault matrix (varied run-over-run there).
+FAULT_SEED = int(os.environ.get("REPRO_FAULT_SEED", "7"))
 
 
 @pytest.fixture(scope="module")
@@ -138,3 +142,66 @@ class TestPartitionedDifferential:
             )
         assert report.mismatches == [], report.mismatches[:1]
         assert report.runs >= 48
+
+
+@pytest.fixture(scope="module")
+def fault_pair(tmp_path_factory):
+    """The same stored data served clean and through a transient-fault
+    schedule with retries enabled (and the scan scheduler on)."""
+    from repro import Database, FaultInjector, FaultRule, RetryPolicy, load_tpch
+
+    root = tmp_path_factory.mktemp("diff_faults")
+    clean = Database(root / "db")
+    load_tpch(clean.catalog, scale=0.002, seed=7)
+    injector = FaultInjector(
+        [
+            # Fails fewer attempts (2) than the retry budget grants (4), so
+            # every selected block eventually recovers.
+            FaultRule(kind="transient", probability=0.3, times=2),
+            FaultRule(kind="slow", probability=0.1, latency_us=200.0),
+        ],
+        seed=FAULT_SEED,
+    )
+    faulted = Database(
+        root / "db",
+        fault_injector=injector,
+        retry=RetryPolicy(attempts=4, backoff_us=100.0),
+        parallel_scans=2,
+    )
+    yield clean, faulted
+    faulted.close()
+    clean.close()
+
+
+@pytest.fixture(scope="module")
+def fault_report(fault_pair):
+    """One shared fault sweep: 60 queries x 4 strategies, all cold."""
+    clean, faulted = fault_pair
+    return run_fault_differential(clean, faulted, n_queries=60, seed=SEED)
+
+
+class TestFaultDifferential:
+    """Seeded transient faults + retries must be invisible to results."""
+
+    def test_faulted_matches_clean(self, fault_report):
+        assert fault_report.mismatches == [], (
+            f"diff_seed={SEED} fault_seed={FAULT_SEED}: "
+            f"{len(fault_report.mismatches)} faulted/clean divergences, "
+            f"first: {fault_report.mismatches[:1]}"
+        )
+
+    def test_fault_sweep_is_substantial(self, fault_report):
+        assert fault_report.queries == 60
+        assert fault_report.runs >= 200, (
+            f"only {fault_report.runs} runs ({fault_report.skipped} skipped);"
+            " the fault sweep must exercise at least 200 query executions"
+        )
+
+    def test_faults_actually_fired(self, fault_report, fault_pair):
+        # Without this the axis could silently degrade to a clean re-run
+        # (e.g. an injector that never selects a block at this seed).
+        _clean, faulted = fault_pair
+        assert fault_report.retries > 0
+        # The pool saw every retry the sweep counted (tallies survive the
+        # per-run injector resets).
+        assert faulted.pool.total_retries >= fault_report.retries

@@ -32,9 +32,12 @@ class TestCorruption:
         corrupt_byte(path, target.offset + target.nbytes // 2)
         # Undamaged blocks still read fine...
         cf.read_payload(0)
-        # ...the damaged one is caught by its checksum.
-        with pytest.raises(CorruptBlockError):
+        # ...the damaged one is caught by its checksum, and the error names
+        # the column file and block so an operator can go repair it.
+        with pytest.raises(CorruptBlockError) as excinfo:
             cf.read_payload(1)
+        assert str(path) in str(excinfo.value)
+        assert "block 1" in str(excinfo.value)
 
     def test_truncated_file_detected(self, column_on_disk):
         path, _values = column_on_disk
@@ -114,8 +117,41 @@ class TestMalformedPayloads:
             select=("v",),
             predicates=(Predicate("v", "!=", -1),),  # not index-resolvable
         )
-        with pytest.raises(CorruptBlockError):
+        with pytest.raises(CorruptBlockError) as excinfo:
             db.query(query, strategy="em-parallel", cold=True)
+        # The end-to-end error still names the file and block.
+        assert str(col_path) in str(excinfo.value)
+        assert "block 0" in str(excinfo.value)
+
+    def test_transient_errors_name_file_and_block(self, tmp_path):
+        """Injected transient failures carry the same file/block naming."""
+        from repro import Database, FaultInjector, FaultRule, Predicate
+        from repro import SelectQuery
+        from repro.dtypes import ColumnSchema
+        from repro.errors import TransientIOError
+        from repro.faults import NO_RETRY
+
+        inj = FaultInjector([FaultRule(kind="transient", times=1)], seed=0)
+        db = Database(tmp_path / "db", fault_injector=inj, retry=NO_RETRY)
+        values = np.arange(40_000, dtype=np.int32)
+        db.catalog.create_projection(
+            "t",
+            {"v": values},
+            schemas={"v": ColumnSchema("v", INT32)},
+            sort_keys=["v"],
+            encodings={"v": ["uncompressed"]},
+            presorted=True,
+        )
+        col_path = db.projection("t").column("v").files["uncompressed"]
+        query = SelectQuery(
+            projection="t",
+            select=("v",),
+            predicates=(Predicate("v", "!=", -1),),
+        )
+        with pytest.raises(TransientIOError) as excinfo:
+            db.query(query, cold=True)
+        assert str(col_path) in str(excinfo.value)
+        assert "block 0" in str(excinfo.value)
 
 
 def _corrupted_db(tmp_path, parallel_scans=0):

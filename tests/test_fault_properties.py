@@ -1,0 +1,115 @@
+"""Property: a degraded result is the clean result minus quarantined rows.
+
+``Database(on_error="degrade")`` promises that skipping a quarantined
+partition is the *only* way a degraded result differs from a clean one: for
+any predicate and any failing partition, the rows returned equal the clean
+rows evaluated over the surviving partitions — never a partial partition,
+never rows from the quarantined one, never silently everything.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Database,
+    FaultInjector,
+    FaultRule,
+    Predicate,
+    SelectQuery,
+)
+from repro.dtypes import INT32, ColumnSchema
+from repro.metrics import MetricsRegistry
+
+N_PARTITIONS = 4
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory):
+    """A 4-way partitioned projection plus its per-partition raw columns."""
+    root = tmp_path_factory.mktemp("fault_props") / "db"
+    db = Database(root)
+    rng = np.random.default_rng(13)
+    n = 40_000
+    a = np.sort(rng.integers(0, 1000, size=n)).astype(np.int32)
+    b = rng.integers(0, 1000, size=n).astype(np.int32)
+    db.catalog.create_projection(
+        "t",
+        {"a": a, "b": b},
+        schemas={"a": ColumnSchema("a", INT32), "b": ColumnSchema("b", INT32)},
+        sort_keys=["a"],
+        encodings={"a": ["uncompressed"], "b": ["uncompressed"]},
+        presorted=True,
+        partitions=N_PARTITIONS,
+    )
+    proj = db.projection("t")
+    per_partition = []
+    for part in proj.partitions:
+        child = part.open()
+        per_partition.append(
+            (
+                part.name,
+                child.read_column_values("a"),
+                child.read_column_values("b"),
+            )
+        )
+    return root, per_partition
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(
+    target=st.integers(min_value=0, max_value=N_PARTITIONS - 1),
+    column=st.sampled_from(["a", "b"]),
+    op=st.sampled_from(["<", "<=", ">", ">=", "=", "!="]),
+    value=st.integers(min_value=-50, max_value=1050),
+    strategy=st.sampled_from(["em-parallel", "lm-parallel"]),
+)
+def test_degraded_equals_clean_over_survivors(
+    store, target, column, op, value, strategy
+):
+    root, per_partition = store
+    target_name = per_partition[target][0]
+    injector = FaultInjector(
+        [FaultRule(kind="corrupt", path_glob=f"*{target_name}*")], seed=0
+    )
+    db = Database(
+        root,
+        fault_injector=injector,
+        on_error="degrade",
+        metrics=MetricsRegistry(),
+    )
+    predicate = Predicate(column, op, value)
+    result = db.query(
+        SelectQuery(projection="t", select=("a", "b"),
+                    predicates=(predicate,)),
+        strategy=strategy,
+        cold=True,
+    )
+
+    expected = []
+    for name, a, b in per_partition:
+        if name == target_name:
+            continue
+        mask = predicate.mask(a if column == "a" else b)
+        expected.extend(zip(a[mask].tolist(), b[mask].tolist()))
+    assert sorted(result.rows()) == sorted(expected)
+
+    # Degradation is reported exactly when the failing partition was
+    # actually scanned (zone-map pruning may skip it outright first).
+    if result.degraded:
+        assert result.skipped_partitions == (target_name,)
+    else:
+        target_a = per_partition[target][1]
+        target_b = per_partition[target][2]
+        mask = predicate.mask(target_a if column == "a" else target_b)
+        assert not mask.any(), (
+            "a scanned-and-failed partition with matching rows must "
+            "degrade the result"
+        )

@@ -1,0 +1,170 @@
+"""Offline scrubber: checksum, structural, and deep value verification."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Database
+from repro.cli import main
+from repro.dtypes import INT32, ColumnSchema
+from repro.storage.column_file import ColumnFile
+
+
+def make_db(root, partitions=None, n=50_000):
+    db = Database(root)
+    rng = np.random.default_rng(4)
+    a = np.sort(rng.integers(0, 1000, size=n)).astype(np.int32)
+    b = rng.integers(0, 1000, size=n).astype(np.int32)
+    kwargs = {} if partitions is None else {"partitions": partitions}
+    db.catalog.create_projection(
+        "t",
+        {"a": a, "b": b},
+        schemas={"a": ColumnSchema("a", INT32), "b": ColumnSchema("b", INT32)},
+        sort_keys=["a"],
+        encodings={"a": ["uncompressed"], "b": ["uncompressed"]},
+        presorted=True,
+        **kwargs,
+    )
+    return db
+
+
+def flip_byte(path, offset):
+    data = bytearray(path.read_bytes())
+    data[offset] ^= 0xFF
+    path.write_bytes(bytes(data))
+
+
+class TestScrubAPI:
+    def test_clean_store_scrubs_clean(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        report = db.scrub(deep=True)
+        assert report.clean
+        assert report.projections_scanned == 1
+        assert report.files_scanned == 2
+        assert report.blocks_scanned > 0
+        assert report.to_json()["issues"] == []
+
+    def test_checksum_damage_names_file_and_block(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        path = db.projection("t").column("b").files["uncompressed"]
+        target = ColumnFile.open(path).descriptors[1]
+        flip_byte(path, target.offset + 7)
+        report = Database(tmp_path / "db").scrub()
+        assert not report.clean
+        assert len(report.issues) == 1
+        issue = report.issues[0]
+        assert issue.file == str(path)
+        assert issue.block == 1
+        assert issue.column == "b"
+        assert "checksum" in issue.error
+
+    def test_scrub_never_raises_and_finds_all_damage(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        for col, block in (("a", 0), ("b", 2)):
+            path = db.projection("t").column(col).files["uncompressed"]
+            d = ColumnFile.open(path).descriptors[block]
+            flip_byte(path, d.offset + 3)
+        report = Database(tmp_path / "db").scrub()
+        assert {(i.column, i.block) for i in report.issues} == {
+            ("a", 0), ("b", 2),
+        }
+
+    def test_truncated_file_reported_structurally(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        path = db.projection("t").column("b").files["uncompressed"]
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) - 1000])
+        report = Database(tmp_path / "db").scrub()
+        assert not report.clean
+        assert any("file holds only" in i.error for i in report.issues)
+
+    def test_unopenable_file_reported(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        path = db.projection("t").column("a").files["uncompressed"]
+        path.write_bytes(b"NOTACOL!" + b"\x00" * 64)
+        report = Database(tmp_path / "db").scrub()
+        assert any(
+            "cannot open column file" in i.error for i in report.issues
+        )
+
+    def test_deep_catches_damage_checksums_cannot_see(self, tmp_path):
+        # A legacy block (no stored CRC) whose payload was swapped for
+        # equally-sized garbage passes the shallow length check; only
+        # deep=True decodes it and sees the values escape the descriptor's
+        # min/max bounds.
+        db = make_db(tmp_path / "db")
+        path = db.projection("t").column("b").files["uncompressed"]
+        cf = ColumnFile.open(path)
+        d = cf.descriptors[0]
+        forged = np.full(d.n_values, 10**6, dtype=np.int32).tobytes()
+        assert len(forged) == d.nbytes
+        data = bytearray(path.read_bytes())
+        data[d.offset : d.offset + d.nbytes] = forged
+        # Strip the block's CRC the way pre-checksum files look on disk.
+        header_len = int.from_bytes(data[8:12], "little")
+        header = json.loads(bytes(data[12 : 12 + header_len]).decode())
+        header["blocks"][0].pop("crc32", None)
+        new_header = json.dumps(header).encode()
+        padded = new_header + b" " * (header_len - len(new_header))
+        path.write_bytes(
+            bytes(data[:12]) + padded + bytes(data[12 + header_len :])
+        )
+
+        shallow = Database(tmp_path / "db").scrub()
+        assert shallow.clean
+        deep = Database(tmp_path / "db").scrub(deep=True)
+        assert not deep.clean
+        assert any("escape the descriptor bounds" in i.error
+                   for i in deep.issues)
+
+    def test_partitioned_store_scrubbed_per_child(self, tmp_path):
+        db = make_db(tmp_path / "db", partitions=4)
+        report = db.scrub()
+        assert report.clean
+        assert report.files_scanned == 8
+        part = db.projection("t").partitions[2]
+        path = part.open().column("a").files["uncompressed"]
+        d = ColumnFile.open(path).descriptors[0]
+        flip_byte(path, d.offset + 1)
+        report = Database(tmp_path / "db").scrub()
+        assert len(report.issues) == 1
+        assert report.issues[0].partition == "part0002"
+
+    def test_scrub_bypasses_fault_injector(self, tmp_path):
+        # The scrubber verifies disk bytes, not the injected schedule.
+        from repro import FaultInjector, FaultRule
+
+        make_db(tmp_path / "db")
+        injector = FaultInjector([FaultRule(kind="corrupt")], seed=0)
+        db = Database(tmp_path / "db", fault_injector=injector)
+        report = db.scrub(deep=True)
+        assert report.clean
+        assert injector.injected["corrupt"] == 0
+
+
+class TestScrubCLI:
+    def test_clean_exit_zero(self, tmp_path, capsys):
+        make_db(tmp_path / "db")
+        assert main(["scrub", str(tmp_path / "db")]) == 0
+        captured = capsys.readouterr()
+        report = json.loads(captured.out)
+        assert report["clean"] is True
+        assert "scrubbed 1 projections" in captured.err
+
+    def test_damage_exits_nonzero_and_names_block(self, tmp_path, capsys):
+        db = make_db(tmp_path / "db")
+        path = db.projection("t").column("b").files["uncompressed"]
+        d = ColumnFile.open(path).descriptors[1]
+        flip_byte(path, d.offset + 5)
+        assert main(["scrub", str(tmp_path / "db"), "--deep"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["clean"] is False
+        [issue] = report["issues"]
+        assert issue["file"] == str(path)
+        assert issue["block"] == 1
+
+    def test_quiet_suppresses_summary(self, tmp_path, capsys):
+        make_db(tmp_path / "db")
+        assert main(["scrub", str(tmp_path / "db"), "--quiet"]) == 0
+        assert capsys.readouterr().err == ""

@@ -57,6 +57,52 @@ class TestWALDurability:
         # The date was encoded to an int before hitting the log.
         assert '"shipdate": 10' in line
 
+    def test_torn_final_line_recovers_complete_rows(self, db_root):
+        """Crash simulation: a partial final append must not poison recovery.
+
+        A crash mid-append leaves the last WAL line incomplete. That insert
+        never returned, so the row was never acknowledged — recovery must
+        keep every complete row, drop the torn tail, and leave the log in a
+        state later appends can extend safely.
+        """
+        root, db = db_root
+        db.insert("orders", [order_row(1), order_row(2)])
+        wal = root / "_wal" / "orders.wal"
+        complete = wal.read_text()
+        # The crash: a third insert torn off mid-JSON, no trailing newline.
+        wal.write_text(complete + '{"shipdate": 10, "cust')
+
+        reopened = Database(root)
+        assert reopened.pending("orders") == 2
+        r = reopened.sql(
+            "SELECT custkey FROM orders WHERE shipdate > '1998-12-31'"
+        )
+        assert sorted(r.rows()) == [(1,), (2,)]
+        # The torn bytes were dropped from disk, so post-recovery appends
+        # cannot land after a malformed line...
+        assert wal.read_text() == complete
+        reopened.insert("orders", [order_row(3)])
+        # ...and the *next* recovery sees a fully well-formed log.
+        assert Database(root).pending("orders") == 3
+
+    def test_torn_tail_alone_recovers_nothing(self, db_root):
+        root, _db = db_root
+        wal = root / "_wal" / "orders.wal"
+        wal.write_text('{"shipdate": 10, "cust')  # only a torn line
+        reopened = Database(root)
+        assert reopened.pending("orders") == 0
+
+    def test_mid_file_corruption_still_raises(self, db_root):
+        """Only the *final* line may be torn; earlier damage is real."""
+        root, db = db_root
+        db.insert("orders", [order_row(1), order_row(2)])
+        wal = root / "_wal" / "orders.wal"
+        lines = wal.read_text().splitlines()
+        lines[0] = lines[0][:-5]  # truncate the FIRST line, keep the rest
+        wal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CatalogError, match="corrupt WAL line 1 of 2"):
+            Database(root)
+
     def test_separate_tables_separate_logs(self, db_root):
         root, db = db_root
         db.insert("orders", [order_row(1)])
