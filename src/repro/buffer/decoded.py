@@ -3,9 +3,11 @@
 The raw :class:`~repro.buffer.pool.BufferPool` caches *encoded* block
 payloads and owns all I/O accounting. This layer sits above it and caches
 the CPU-expensive products of a payload — the decoded value array
-(``Encoding.decode``) and, for run-length data, the parsed run table
-(``Encoding.runs``) — so warm scans and DS3 gathers skip the decode kernel
-entirely. Entries are keyed by ``(path, block, dtype, encoding, kind)``;
+(``Encoding.decode``), the parsed run table for run-length data
+(``Encoding.runs``), and the compressed-execution views (dictionary code
+tables, FOR spans) — so warm scans, compressed kernels and DS3 gathers skip
+the parse/decode work. Entries are keyed by
+``(path, block, dtype, encoding, kind)``;
 column files are immutable until a projection is replaced, at which point
 :meth:`~repro.engine.Database.clear_cache` drops both layers together.
 
@@ -110,6 +112,38 @@ class DecodedBlockCache:
             arr.setflags(write=False)
         self._insert(key, table, sum(a.nbytes for a in table), stats)
         return table
+
+    def codes(
+        self,
+        column_file: "ColumnFile",
+        desc: "BlockDescriptor",
+        payload: bytes,
+        stats: QueryStats,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """The block's ``(distinct, codes)`` table (dictionary data)."""
+        key = self._key(column_file, desc.index, "codes")
+        cached = self._lookup(key, stats)
+        if cached is not None:
+            return cached
+        table = column_file.encoding.code_table(payload)
+        self._insert(key, table, sum(a.nbytes for a in table), stats)
+        return table
+
+    def for_span(
+        self,
+        column_file: "ColumnFile",
+        desc: "BlockDescriptor",
+        payload: bytes,
+        stats: QueryStats,
+    ):
+        """The block's parsed FOR span (reference + packed offsets)."""
+        key = self._key(column_file, desc.index, "for")
+        cached = self._lookup(key, stats)
+        if cached is not None:
+            return cached[0]
+        span = column_file.encoding.parse_span(payload)
+        self._insert(key, (span,), span.offsets.nbytes + 24, stats)
+        return span
 
     def _lookup(self, key: tuple, stats: QueryStats):
         with self._lock:

@@ -1,0 +1,79 @@
+"""The representation lattice and its morph operators.
+
+Compressed execution views every block as sitting at a point in a small
+lattice of physical representations:
+
+::
+
+    RUNS ────┐
+    CODES ───┼──> VALUES
+    DELTAS ──┘
+
+``VALUES`` (a decoded numpy array) is the bottom everything can morph down
+to; ``RUNS`` (RLE run table), ``CODES`` (dictionary distinct + code arrays)
+and ``DELTAS`` (FOR reference + packed offsets) are the encoded points the
+per-encoding kernels operate at. There is deliberately no lateral edge:
+re-encoding an intermediate is never worth it on this substrate, so the only
+move is *down* (a morph), and the per-operator decision is simply "stay at
+the encoded point or morph to VALUES" — costed by :mod:`repro.model.morph`.
+
+The explicit :data:`MORPHS` operators are the lattice's edges. Operators
+don't call them directly (each kernel falls back to the decoded path, which
+the decoded-block cache serves); they exist so the lattice is testable and
+documented as data: every morph must reproduce ``Encoding.decode`` exactly.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+
+import numpy as np
+
+
+class Representation(str, Enum):
+    """A point in the compressed-execution lattice."""
+
+    RUNS = "runs"
+    CODES = "codes"
+    DELTAS = "deltas"
+    VALUES = "values"
+
+
+#: The encoded lattice point of each encoding that has an operator kernel.
+#: Encodings absent here (uncompressed, bit-vector) only exist at VALUES —
+#: uncompressed *is* VALUES, and bit-vector answers scans in position space
+#: already, so neither has anything to stay compressed in.
+ENCODING_REPRESENTATIONS: dict[str, Representation] = {
+    "rle": Representation.RUNS,
+    "dictionary": Representation.CODES,
+    "for": Representation.DELTAS,
+}
+
+
+def runs_to_values(
+    values: np.ndarray, lengths: np.ndarray
+) -> np.ndarray:
+    """RUNS -> VALUES: expand each run value over its length."""
+    return np.repeat(values, lengths)
+
+
+def codes_to_values(
+    distinct: np.ndarray, codes: np.ndarray, dtype: np.dtype
+) -> np.ndarray:
+    """CODES -> VALUES: index the distinct array by the code array."""
+    return distinct.astype(dtype)[codes]
+
+
+def deltas_to_values(
+    reference: int, offsets: np.ndarray, dtype: np.dtype
+) -> np.ndarray:
+    """DELTAS -> VALUES: widen the offsets and add the reference back."""
+    return (offsets.astype(np.int64) + reference).astype(dtype)
+
+
+#: Edges of the lattice: (source representation) -> morph operator.
+MORPHS = {
+    Representation.RUNS: runs_to_values,
+    Representation.CODES: codes_to_values,
+    Representation.DELTAS: deltas_to_values,
+}

@@ -119,6 +119,10 @@ class QueryResult:
                 f"{stats.decode_misses} misses"
             ),
             (
+                f"compressed     {stats.compressed_scans} kernel scans, "
+                f"{stats.morphs} morphs"
+            ),
+            (
                 f"CPU            {stats.values_scanned} values scanned, "
                 f"{stats.tuples_constructed} tuples constructed, "
                 f"{stats.positions_intersected} positions intersected"
@@ -169,6 +173,7 @@ class Database:
         use_multicolumns: bool = True,
         use_indexes: bool = True,
         decompress_eagerly: bool = False,
+        compressed_execution: bool = True,
         decoded_cache_bytes: int = DEFAULT_DECODED_CAPACITY_BYTES,
         parallel_scans: int = 0,
         metrics: MetricsRegistry | None = None,
@@ -180,6 +185,19 @@ class Database:
         """Open (or create) a database.
 
         Args:
+            compressed_execution: route DS1 scans through the per-encoding
+                compressed kernels (:mod:`repro.compressed`) and the LM
+                aggregation tail through run tables / code histograms.
+                ``True`` (default) evaluates predicates in the encoded
+                domain wherever the stay-vs-morph model says it wins;
+                ``False`` restores the fully decoded path. Result rows are
+                bit-identical either way (the compressed differential axis
+                gates this). Model counters legitimately *drop* when
+                kernels fire — run-length position lists are charged per
+                run, not per position — so the model records the paper's
+                compressed-execution advantage; within either setting the
+                counters stay bit-identical across serial/parallel and
+                cold/warm. ``decompress_eagerly=True`` forces this off.
             decoded_cache_bytes: byte budget for the decoded-block cache —
                 the scan fast-path's second level, holding decoded value
                 arrays and RLE run tables above the raw payload pool. ``0``
@@ -240,6 +258,7 @@ class Database:
         self.use_multicolumns = use_multicolumns
         self.use_indexes = use_indexes
         self.decompress_eagerly = decompress_eagerly
+        self.compressed_execution = compressed_execution
         self.metrics = metrics if metrics is not None else REGISTRY
         self.slow_query_ms = slow_query_ms
         self.metrics.register_collector("buffer_pool", self.pool.metrics)
@@ -300,6 +319,8 @@ class Database:
             use_indexes=self.use_indexes,
             decompress_eagerly=self.decompress_eagerly,
             decoded=self.decoded,
+            compressed=self.compressed_execution,
+            constants=self.constants,
             scheduler=self.scheduler,
             tracer=SpanTracer(stats) if trace else None,
             on_error=self.on_error,
@@ -663,6 +684,11 @@ class Database:
                 "text": render_span_tree(result.spans, self.constants),
                 "json": result.spans.to_dict(self.constants),
             }
+            if result.stats.compressed_scans or result.stats.morphs:
+                report["compressed"] = {
+                    "kernel_scans": result.stats.compressed_scans,
+                    "morphs": result.stats.morphs,
+                }
             extra = result.stats.extra
             if "partitions_total" in extra:
                 report["partitions"] = {

@@ -52,6 +52,12 @@ class QueryStats:
       neither feeds the simulated-time replay). These flow end-to-end:
       ``Database.query`` surfaces them on ``QueryResult.stats`` and the
       span tree attributes them per operator.
+    * ``compressed_scans`` / ``morphs`` — blocks a compressed-execution
+      kernel answered in the encoded domain, and blocks that *morphed*:
+      a kernel-capable block the stay-vs-morph model sent to the decoded
+      path instead (plus position sets an operator had to expand out of
+      run form). Observability for the compressed-execution layer; not
+      model terms, so neither feeds the simulated-time replay.
     * ``io_retries`` / ``io_gave_up`` — block-read attempts retried after a
       :class:`~repro.errors.TransientIOError`, and reads abandoned after the
       retry budget was exhausted (the fault-tolerance layer; retries charge
@@ -79,6 +85,8 @@ class QueryStats:
     positions_intersected: int = 0
     tuples_output: int = 0
     blocks_skipped: int = 0
+    compressed_scans: int = 0
+    morphs: int = 0
     io_retries: int = 0
     io_gave_up: int = 0
     simulated_io_us: float = 0.0

@@ -9,6 +9,8 @@ Three layers:
 * :mod:`~repro.model.predictor` — a-priori end-to-end plan cost prediction
   from column metadata and estimated selectivities, used both for the
   Figure 10 validation and by the strategy-choosing optimizer.
+* :mod:`~repro.model.morph` — per-block stay-compressed vs. morph decisions
+  for the compressed-execution kernels, in the same microsecond currency.
 """
 
 from .constants import ModelConstants, PAPER_CONSTANTS
@@ -27,6 +29,13 @@ from .cost import (
 )
 from .predictor import predict_join, predict_select
 from .calibrate import calibrate_constants
+from .morph import (
+    MorphDecision,
+    dictionary_scan_decision,
+    for_scan_decision,
+    morph_scan_us,
+    rle_scan_decision,
+)
 
 __all__ = [
     "ModelConstants",
@@ -45,4 +54,9 @@ __all__ = [
     "predict_select",
     "predict_join",
     "calibrate_constants",
+    "MorphDecision",
+    "rle_scan_decision",
+    "dictionary_scan_decision",
+    "for_scan_decision",
+    "morph_scan_us",
 ]

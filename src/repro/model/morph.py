@@ -1,0 +1,74 @@
+"""Cost hooks for the stay-compressed vs. morph decision.
+
+Compressed execution (``repro.compressed``) must decide, per block, whether
+to run the predicate in the encoded domain (RLE runs, dictionary codes, FOR
+deltas) or to *morph* — decode to a value array and take the classic decoded
+scan path. The decision is a cost comparison in the analytical model's own
+currency (Table 1 microsecond constants), so the rules stay calibrated with
+everything else in ``model/``:
+
+* **stay** — work proportional to the encoding's unit count (runs or
+  distinct codes) plus any per-value touch at the *narrow* stored width;
+* **morph** — one predicate application and one column-iterator step per
+  decoded value, the decoded fast path's per-block cost.
+
+The practical upshot at the paper constants: RLE stays compressed while
+runs actually compress (average run length above ~1.6 values) and morphs on
+run-per-value blocks, where the run table is pure overhead; dictionary
+always stays (the per-value touch is 1-4 narrow bytes vs. 8 decoded);
+FOR stays whenever the predicate translates to offset space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .constants import ModelConstants
+
+
+@dataclass(frozen=True)
+class MorphDecision:
+    """Modelled microseconds for both choices on one block."""
+
+    stay_us: float
+    morph_us: float
+
+    @property
+    def stay(self) -> bool:
+        return self.stay_us <= self.morph_us
+
+
+def morph_scan_us(n_values: int, k: ModelConstants) -> float:
+    """Modelled cost of the decoded path: per-value compare + emit."""
+    return n_values * (k.ticcol + k.fc)
+
+
+def rle_scan_decision(
+    n_values: int, n_runs: int, k: ModelConstants
+) -> MorphDecision:
+    """Run-table kernel: one compare (FC) and one emitted boundary pair
+    (two column-iterator touches) per run."""
+    stay = n_runs * (k.fc + 2 * k.ticcol)
+    return MorphDecision(stay_us=stay, morph_us=morph_scan_us(n_values, k))
+
+
+def dictionary_scan_decision(
+    n_values: int, n_distinct: int, code_width_bytes: int, k: ModelConstants
+) -> MorphDecision:
+    """Code-domain kernel: one compare per distinct value, then one touch
+    per stored code at its narrow width (1-4 bytes vs. 8 decoded)."""
+    stay = n_distinct * k.fc + n_values * k.ticcol * (code_width_bytes / 8.0)
+    return MorphDecision(stay_us=stay, morph_us=morph_scan_us(n_values, k))
+
+
+def for_scan_decision(
+    n_values: int, width_bits: int, translatable: bool, k: ModelConstants
+) -> MorphDecision:
+    """Offset-space kernel: one touch per value at the packed width; only
+    available when the predicate constant rebases exactly."""
+    if not translatable:
+        return MorphDecision(
+            stay_us=float("inf"), morph_us=morph_scan_us(n_values, k)
+        )
+    stay = n_values * k.ticcol * (width_bits / 64.0)
+    return MorphDecision(stay_us=stay, morph_us=morph_scan_us(n_values, k))

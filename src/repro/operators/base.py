@@ -15,6 +15,7 @@ from ..storage.block import BlockDescriptor
 from ..storage.column_file import ColumnFile
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from ..model.constants import ModelConstants
     from .scheduler import ScanScheduler
 
 
@@ -43,6 +44,16 @@ class ExecutionContext:
     #: run tables, shared across queries. None disables the fast path (every
     #: block access re-runs the decode kernel, the pre-cache behaviour).
     decoded: DecodedBlockCache | None = None
+    #: Compressed execution: DS1 scans dispatch to per-encoding kernels
+    #: (``repro.compressed``) and the LM aggregation tail consumes run
+    #: tables / code histograms directly. Off implies every block takes the
+    #: decoded path (the pre-kernel behaviour); ``decompress_eagerly``
+    #: contexts always run with this off (``__post_init__`` enforces it).
+    compressed: bool = True
+    #: Model constants the stay-vs-morph decisions are costed with; shared
+    #: with everything else replaying the analytical model. ``None`` (a bare
+    #: context) resolves to the paper constants at kernel-dispatch time.
+    constants: "ModelConstants | None" = None
     #: When set, the parallel strategies hand their independent scan leaves
     #: to this scheduler instead of running them serially.
     scheduler: "ScanScheduler | None" = None
@@ -63,6 +74,12 @@ class ExecutionContext:
     #: any newly quarantined mid-query), in partition order. The engine
     #: surfaces a non-empty list as ``QueryResult.degraded``.
     skipped_partitions: list = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        # Eager decompression is the "never operate on compressed data"
+        # ablation; compressed execution is meaningless (and wrong) there.
+        if self.decompress_eagerly:
+            self.compressed = False
 
     def begin(self, operator: str) -> Span | None:
         """Open a span for one operator application (None when not tracing).
@@ -128,6 +145,22 @@ class ExecutionContext:
             return column_file.encoding.runs(payload, desc, column_file.dtype)
         return self.decoded.runs(column_file, desc, payload, self.stats)
 
+    def code_table(
+        self, column_file: ColumnFile, desc: BlockDescriptor, payload: bytes
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One block's dictionary ``(distinct, codes)`` view, cached when on."""
+        if self.decoded is None:
+            return column_file.encoding.code_table(payload)
+        return self.decoded.codes(column_file, desc, payload, self.stats)
+
+    def for_span(
+        self, column_file: ColumnFile, desc: BlockDescriptor, payload: bytes
+    ):
+        """One block's parsed FOR span, cached when on."""
+        if self.decoded is None:
+            return column_file.encoding.parse_span(payload)
+        return self.decoded.for_span(column_file, desc, payload, self.stats)
+
     def gather_block(
         self,
         column_file: ColumnFile,
@@ -168,6 +201,8 @@ class ExecutionContext:
             use_indexes=self.use_indexes,
             decompress_eagerly=self.decompress_eagerly,
             decoded=self.decoded,
+            compressed=self.compressed,
+            constants=self.constants,
             scheduler=None,
             tracer=SpanTracer(stats) if self.tracer is not None else None,
             on_error=self.on_error,
@@ -190,13 +225,17 @@ class ExecutionContext:
 def position_groups(positions) -> int:
     """The model's ``||POSLIST|| / RLp``: iterator steps over a position list.
 
-    A contiguous range is one group; listed/bitmap representations are charged
-    one step per contained position (runs inside them are not free to detect).
+    A contiguous range is one group; a run list is one group per run (the
+    structure is explicit, so jumping run to run is free to detect);
+    listed/bitmap representations are charged one step per contained
+    position (runs inside them are not free to detect).
     """
-    from ..positions import RangePositions
+    from ..positions import RangePositions, RunPositions
 
     if isinstance(positions, RangePositions):
         return 1 if positions.count() else 0
+    if isinstance(positions, RunPositions):
+        return positions.n_runs
     return positions.count()
 
 

@@ -23,6 +23,7 @@ from ..positions import (
     ListedPositions,
     PositionSet,
     RangePositions,
+    RunPositions,
     from_mask,
     union_all,
 )
@@ -39,6 +40,29 @@ def _concat_position_sets(parts: list[PositionSet], n_rows: int) -> PositionSet:
         return RangePositions.empty()
     if len(parts) == 1:
         return parts[0]
+    if any(isinstance(p, RunPositions) for p in parts) and all(
+        isinstance(p, (RangePositions, RunPositions)) for p in parts
+    ):
+        # Compressed scans emit per-block run lists; glue them without ever
+        # expanding to per-position arrays (blocks are disjoint and
+        # ascending, so a plain concatenation preserves the invariant).
+        starts = np.concatenate(
+            [
+                np.array([p.start], dtype=np.int64)
+                if isinstance(p, RangePositions)
+                else p.starts
+                for p in parts
+            ]
+        )
+        stops = np.concatenate(
+            [
+                np.array([p.stop], dtype=np.int64)
+                if isinstance(p, RangePositions)
+                else p.stops
+                for p in parts
+            ]
+        )
+        return RunPositions.from_runs(starts, stops)
     if all(isinstance(p, RangePositions) for p in parts):
         glued = []
         for p in parts:
@@ -142,6 +166,10 @@ class DS1Scan:
                     positions=from_index.count(),
                 )
             return ScanResult(positions=from_index, minicolumn=None)
+        # Imported lazily: the kernels pull in the model package, which
+        # reaches back into the operators during its own initialisation.
+        from ..compressed.kernels import has_kernel, scan_block_compressed
+
         mini = MiniColumn(cf) if ctx.use_multicolumns else None
         parts: list[PositionSet] = []
         for desc in cf.descriptors:
@@ -161,17 +189,38 @@ class DS1Scan:
             stats.values_scanned += desc.n_values
             stats.column_iterations += steps
             stats.function_calls += steps  # predicate application per step
-            if ctx.decoded is not None and cf.encoding.decoded_scan_equivalent:
-                # Scan fast-path: mask the cached decoded array. Produces the
-                # same positions in the same representation as the codec's
-                # own scan, but skips the per-block decode/expand kernel on
-                # every warm access.
-                values = ctx.decode_payload(cf, desc, payload)
-                block_positions = from_mask(desc.start_pos, pred.mask(values))
-            else:
-                block_positions = cf.encoding.scan_positions(
-                    payload, desc, cf.dtype, pred
+            block_positions = None
+            if ctx.compressed and has_kernel(cf.encoding.name):
+                # Compressed execution: evaluate the predicate in the block's
+                # encoded domain (run table / code table / FOR offsets). The
+                # kernel returns None when the stay-vs-morph model says the
+                # decoded path below is cheaper — that fall-through *is* the
+                # morph, served by the same decoded cache as the fast path.
+                block_positions = scan_block_compressed(
+                    ctx, cf, desc, payload, pred
                 )
+                if block_positions is not None:
+                    stats.compressed_scans += 1
+                else:
+                    stats.morphs += 1
+            if block_positions is None:
+                if (
+                    ctx.decoded is not None
+                    and cf.encoding.decoded_scan_equivalent
+                ):
+                    # Scan fast-path (and the morph target of the kernel
+                    # dispatch above): mask the cached decoded array.
+                    # Produces the same positions in the same representation
+                    # as the codec's own scan, but skips the per-block
+                    # decode/expand kernel on every warm access.
+                    values = ctx.decode_payload(cf, desc, payload)
+                    block_positions = from_mask(
+                        desc.start_pos, pred.mask(values)
+                    )
+                else:
+                    block_positions = cf.encoding.scan_positions(
+                        payload, desc, cf.dtype, pred
+                    )
             stats.function_calls += block_positions.count()  # emit matches
             parts.append(block_positions)
         positions = _concat_position_sets(parts, cf.n_values)

@@ -292,17 +292,48 @@ def _lm_finish(
         group_cols = list(query.group_columns)
         agg = AggregateLM(ctx, group_cols, list(query.aggregates))
         single = group_cols[0] if len(group_cols) == 1 else None
+        plain_funcs = all(
+            s.func != "count_distinct" for s in query.aggregates
+        )
         if (
             single is not None
             and files[single].encoding.supports_runs
-            and not ctx.decompress_eagerly
-            and all(s.func != "count_distinct" for s in query.aggregates)
+            and ctx.compressed
+            and plain_funcs
         ):
             run_values, run_ids = _rle_group_runs(
                 ctx, files[single], pos_array, minicolumns.get(single)
             )
             tuples = agg.execute_runs(run_values, run_ids, columns)
+        elif (
+            single is not None
+            and files[single].encoding.name == "dictionary"
+            and ctx.compressed
+            and plain_funcs
+        ):
+            # The group column stays in the code domain: the aggregator
+            # reduces over dense code ids (a per-block code histogram) and
+            # only the distinct arrays are ever widened.
+            from ..compressed.kernels import dictionary_group_codes
+
+            code_values, code_ids = dictionary_group_codes(
+                ctx, files[single], pos_array, minicolumns.get(single)
+            )
+            tuples = agg.execute_runs(code_values, code_ids, columns)
         else:
+            if (
+                single is not None
+                and ctx.compressed
+                and not plain_funcs
+                and (
+                    files[single].encoding.supports_runs
+                    or files[single].encoding.name == "dictionary"
+                )
+            ):
+                # A kernel-capable group column forced to the row path
+                # (count_distinct needs per-row values): that expansion is
+                # a morph.
+                ctx.stats.morphs += 1
             groups = {}
             for col in group_cols:
                 groups[col] = gather_values(

@@ -11,6 +11,9 @@ here:
   word operation.
 * :class:`ListedPositions` — an explicit sorted array of positions, best when
   few positions survive.
+* :class:`RunPositions` — sorted disjoint runs, the compressed-execution
+  representation: RLE predicate kernels emit one run per surviving value
+  run, and AND intersects run lists in work proportional to the run count.
 
 :func:`from_mask` picks a representation from a boolean mask using the same
 heuristics the paper describes (ranges when contiguous, bitmaps when dense,
@@ -22,6 +25,7 @@ from .base import PositionSet
 from .ranges import RangePositions
 from .listed import ListedPositions
 from .bitmap import BitmapPositions
+from .runlist import RunPositions
 from .ops import from_mask, intersect_all, union_all
 
 __all__ = [
@@ -29,6 +33,7 @@ __all__ = [
     "RangePositions",
     "ListedPositions",
     "BitmapPositions",
+    "RunPositions",
     "from_mask",
     "intersect_all",
     "union_all",

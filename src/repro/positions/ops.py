@@ -10,6 +10,7 @@ from .base import PositionSet
 from .bitmap import BitmapPositions
 from .listed import ListedPositions
 from .ranges import RangePositions
+from .runlist import RunPositions
 
 # Below this fraction of set bits, a listed representation is denser than a
 # bitmap (64 bits per listed position vs 1 bit per covered position).
@@ -38,14 +39,18 @@ def intersect_all(sets: list[PositionSet]) -> PositionSet:
     """AND together any number of position sets.
 
     Implements the paper's AND Case 3 ordering: ranges are intersected first
-    (constant cost each), then the remaining sets are folded in. Intersecting
-    the cheap ranges first shrinks the window every later operation works on.
+    (constant cost each), then run lists (per-run cost, still compressed),
+    then the remaining sets are folded in. Intersecting the cheap
+    representations first shrinks the window every later operation works on.
     """
     if not sets:
         raise ValueError("intersect_all of zero sets is undefined")
     ranges = [s for s in sets if isinstance(s, RangePositions)]
-    others = [s for s in sets if not isinstance(s, RangePositions)]
-    ordered = ranges + others
+    runlists = [s for s in sets if isinstance(s, RunPositions)]
+    others = [
+        s for s in sets if not isinstance(s, (RangePositions, RunPositions))
+    ]
+    ordered = ranges + runlists + others
     return reduce(lambda a, b: a.intersect(b), ordered)
 
 

@@ -123,6 +123,15 @@ class DictionaryEncoding(Encoding):
         distinct, codes = self._parse(payload)
         return distinct.astype(dtype)[codes[positions - desc.start_pos]]
 
+    def code_table(self, payload: bytes) -> tuple[np.ndarray, np.ndarray]:
+        """One block's ``(distinct values, code array)`` pair.
+
+        The compressed-execution kernels evaluate predicates against the
+        (small) distinct array once and then index the result by the narrow
+        codes — the dictionary data never expands to int64 values.
+        """
+        return self._parse(payload)
+
     def dictionary_size(self, payload: bytes) -> int:
         """Distinct values stored in one block (introspection/tests)."""
         return int(np.frombuffer(payload, dtype=np.uint64, count=1)[0])

@@ -59,11 +59,21 @@ class Encoding(ABC):
     #: arrays. Bit-vector encoding sets this False: its scans answer
     #: directly in bitmap form without decoding, which is both cheaper than
     #: the decoded path and a different representation.
+    #:
+    #: Precedence: with compressed execution on, DS1 consults the
+    #: per-encoding kernel (``repro.compressed.kernels``) *before* this
+    #: flag; a kernel hit bypasses the decoded path entirely (and may pick
+    #: a different physical representation, e.g. a run list). Only blocks
+    #: the kernel declines — no kernel for the encoding, or the
+    #: stay-vs-morph model chose to morph — reach the decoded fast path
+    #: this flag gates.
     decoded_scan_equivalent: bool = True
 
     #: Same contract for ``scan_pairs``. The base implementation below *is*
     #: decode-then-mask, so this defaults True; an override with different
-    #: observable behaviour must set it False.
+    #: observable behaviour must set it False. The compressed kernels do
+    #: not cover DS2 (pair output materializes values anyway), so there is
+    #: no kernel precedence here.
     decoded_pairs_equivalent: bool = True
 
     @abstractmethod

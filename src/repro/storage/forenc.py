@@ -139,6 +139,15 @@ class FrameOfReferenceEncoding(Encoding):
         values = span.offsets.astype(np.int64) + span.reference
         return from_mask(desc.start_pos, predicate.mask(values.astype(dtype)))
 
+    def parse_span(self, payload: bytes) -> FORSpan:
+        """One block's reference + packed offsets, unexpanded.
+
+        The compressed-execution kernels rebase predicate constants by the
+        reference and compare the narrow offsets directly, so the packed
+        data never widens to int64 values.
+        """
+        return self._parse(payload)
+
     def block_width_bits(self, payload: bytes) -> int:
         """Packed offset width of one block (introspection/tests)."""
         return self._parse(payload).width

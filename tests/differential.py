@@ -26,6 +26,14 @@ reproduce the clean rows exactly — and the sweep asserts retries actually
 fired, so the axis cannot silently degrade to a clean-read re-run. The CI
 fault matrix varies the schedule via ``REPRO_FAULT_SEED``.
 
+A fourth, **compressed-execution** axis (:func:`run_compressed_differential`)
+runs every query on a database with the compressed kernels on and on one
+with them off, over the same stored data (loaded with dictionary and FOR
+stored encodings so every kernel actually fires): operating directly on
+compressed data is purely physical, so all executions must agree — and the
+sweep asserts kernel scans actually happened on the compressed side and
+never on the plain side.
+
 Known physical limitation: LM-pipelined cannot position-filter bit-vector
 encoded columns (``UnsupportedOperationError``); such runs are recorded as
 skips, not failures.
@@ -55,6 +63,8 @@ class DifferentialReport:
     runs: int = 0
     skipped: int = 0
     retries: int = 0
+    compressed_scans: int = 0
+    morphs: int = 0
     encodings_used: set = field(default_factory=set)
     mismatches: list = field(default_factory=list)
 
@@ -240,6 +250,61 @@ def run_partition_differential(
                     report.skipped += 1
                     continue
                 report.runs += 1
+                check_span_invariants(result, db.constants)
+                rows = sorted(result.rows())
+                if reference is None:
+                    reference = rows
+                elif rows != reference:
+                    report.record_mismatch(
+                        query, strategy.value, reference, rows
+                    )
+    return report
+
+
+def run_compressed_differential(
+    compressed_db,
+    plain_db,
+    n_queries: int = 30,
+    seed: int = 0,
+    projection: str = "lineitem",
+    strategies=STRATEGIES,
+) -> DifferentialReport:
+    """The compressed-execution axis: encoded-domain kernels change nothing.
+
+    *compressed_db* and *plain_db* must serve the same stored files;
+    *compressed_db* runs with ``compressed_execution=True`` (DS1 predicate
+    kernels over RLE run tables / dictionary codes / FOR offsets, run-list
+    AND, run/code-histogram aggregation) and *plain_db* with the layer off.
+    Each generated query runs under every strategy on **both** databases and
+    every execution must produce the identical sorted row set and satisfy
+    the span-tree invariants. The sweep also accumulates the compressed
+    side's ``compressed_scans`` / ``morphs`` counters (so callers can assert
+    the kernels really fired) and asserts the plain side never counts a
+    kernel scan.
+    """
+    gen = QueryGenerator(compressed_db, projection=projection, seed=seed)
+    report = DifferentialReport()
+    for _ in range(n_queries):
+        query = gen.next_query()
+        report.queries += 1
+        report.encodings_used.update(dict(query.encodings).values())
+        reference = None
+        for strategy in strategies:
+            for db in (compressed_db, plain_db):
+                try:
+                    result = db.query(query, strategy=strategy, trace=True)
+                except UnsupportedOperationError:
+                    report.skipped += 1
+                    continue
+                report.runs += 1
+                if db is compressed_db:
+                    report.compressed_scans += result.stats.compressed_scans
+                    report.morphs += result.stats.morphs
+                else:
+                    assert result.stats.compressed_scans == 0, (
+                        "compressed_execution=False must never dispatch a "
+                        "kernel scan"
+                    )
                 check_span_invariants(result, db.constants)
                 rows = sorted(result.rows())
                 if reference is None:

@@ -16,9 +16,21 @@ from repro import Strategy
 from .differential import (
     QueryGenerator,
     check_span_invariants,
+    run_compressed_differential,
     run_differential,
     run_fault_differential,
     run_partition_differential,
+)
+
+#: Stored linenum encodings for the compressed axis: the defaults plus
+#: dictionary and FOR, so every compressed kernel actually fires during the
+#: sweep (the stock fixture stores neither).
+KERNEL_LINENUM_ENCODINGS = (
+    "uncompressed",
+    "rle",
+    "bitvector",
+    "dictionary",
+    "for",
 )
 
 SEED = int(os.environ.get("REPRO_DIFF_SEED", "20260806"))
@@ -142,6 +154,120 @@ class TestPartitionedDifferential:
             )
         assert report.mismatches == [], report.mismatches[:1]
         assert report.runs >= 48
+
+
+@pytest.fixture(scope="module")
+def compressed_pair(tmp_path_factory):
+    """The same stored data with compressed execution on and off."""
+    from repro import Database, load_tpch
+
+    root = tmp_path_factory.mktemp("diff_compressed")
+    compressed = Database(root / "db")
+    load_tpch(
+        compressed.catalog,
+        scale=0.002,
+        seed=7,
+        linenum_encodings=KERNEL_LINENUM_ENCODINGS,
+    )
+    plain = Database(root / "db", compressed_execution=False)
+    yield compressed, plain
+    plain.close()
+    compressed.close()
+
+
+@pytest.fixture(scope="module")
+def compressed_report(compressed_pair):
+    """One shared compressed sweep: 30 queries x 4 strategies x on/off."""
+    compressed, plain = compressed_pair
+    return run_compressed_differential(
+        compressed, plain, n_queries=30, seed=SEED
+    )
+
+
+class TestCompressedDifferential:
+    """Encoded-domain kernels + run-list positions must be invisible."""
+
+    def test_compressed_matches_plain(self, compressed_report):
+        assert compressed_report.mismatches == [], (
+            f"seed={SEED}: {len(compressed_report.mismatches)} compressed/"
+            f"plain divergences, first: {compressed_report.mismatches[:1]}"
+        )
+
+    def test_compressed_sweep_is_substantial(self, compressed_report):
+        # 30 queries x 4 strategies x 2 databases = 240 potential runs; the
+        # known LM-pipelined/bit-vector skips must leave >= 200 executions.
+        assert compressed_report.queries == 30
+        assert compressed_report.runs >= 200, (
+            f"only {compressed_report.runs} runs "
+            f"({compressed_report.skipped} skipped)"
+        )
+
+    def test_kernels_actually_fired(self, compressed_report):
+        # Without this the axis could silently degrade to a decoded-path
+        # re-run (e.g. every block morphing at this seed).
+        assert compressed_report.compressed_scans > 0
+
+    def test_kernel_encodings_exercised(self, compressed_report):
+        assert len(compressed_report.encodings_used) >= 2, (
+            compressed_report.encodings_used
+        )
+
+    def test_compressed_axis_under_parallel_scans(self, tmp_path):
+        # Kernel dispatch is a pure function of the block payload and the
+        # predicate, so scheduler-parallelised compressed scans must match a
+        # serial compressed-off database row for row.
+        from repro import Database, load_tpch
+
+        plain = Database(tmp_path / "plain", compressed_execution=False)
+        load_tpch(
+            plain.catalog,
+            scale=0.002,
+            seed=7,
+            linenum_encodings=KERNEL_LINENUM_ENCODINGS,
+        )
+        with Database(tmp_path / "plain", parallel_scans=2) as compressed:
+            report = run_compressed_differential(
+                compressed, plain, n_queries=8, seed=SEED + 3
+            )
+        plain.close()
+        assert report.mismatches == [], report.mismatches[:1]
+        assert report.runs >= 48
+        assert report.compressed_scans > 0
+
+    def test_compressed_axis_under_faults(self, tmp_path):
+        # The fault axis composes with compressed execution: a transient
+        # fault schedule over a kernel-scanning database must still match
+        # the clean compressed-off rows exactly.
+        from repro import (
+            Database,
+            FaultInjector,
+            FaultRule,
+            RetryPolicy,
+            load_tpch,
+        )
+
+        clean = Database(tmp_path / "db", compressed_execution=False)
+        load_tpch(
+            clean.catalog,
+            scale=0.002,
+            seed=7,
+            linenum_encodings=KERNEL_LINENUM_ENCODINGS,
+        )
+        injector = FaultInjector(
+            [FaultRule(kind="transient", probability=0.3, times=2)],
+            seed=FAULT_SEED,
+        )
+        with Database(
+            tmp_path / "db",
+            fault_injector=injector,
+            retry=RetryPolicy(attempts=4, backoff_us=100.0),
+        ) as faulted:
+            report = run_fault_differential(
+                clean, faulted, n_queries=10, seed=SEED + 4
+            )
+        clean.close()
+        assert report.mismatches == [], report.mismatches[:1]
+        assert report.retries > 0
 
 
 @pytest.fixture(scope="module")
