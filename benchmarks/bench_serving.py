@@ -1,0 +1,124 @@
+"""Serving throughput scaling, tail latency and backpressure.
+
+Closed-loop load (``repro.serving.loadgen``) against an in-process server
+over the shared benchmark database, three cells:
+
+* ``clients_1``  — one client, 4 workers: the single-stream baseline. A
+  closed-loop client's throughput is bounded by ``1 / (think + response)``
+  (the interactive response-time law), so the baseline mostly measures
+  think time plus one warm query.
+* ``clients_8``  — eight clients, same server: the server overlaps the
+  clients' think time across its worker pool, so throughput must scale
+  even on one core (the gated headline: >= 1.5x over ``clients_1``).
+  CPU-bound service time is what caps this on a small machine —
+  ``cpu_count`` is recorded alongside the ratio.
+* ``overload``   — eight zero-think clients against one worker behind a
+  2-deep admission queue: permanent saturation. The gate here is that
+  backpressure engages (rejection rate > 0) while admitted work still
+  completes — the queue rejects, it never buffers unboundedly.
+
+Every cell reports throughput, p50/p95/p99/max latency, queue depth and
+rejection rate; the machine-readable summary (plus a metrics-registry
+snapshot with the ``serving.*`` and ``loadgen.*`` series) lands in
+``benchmarks/results/BENCH_serving.json`` — the artifact CI uploads.
+
+``REPRO_SERVING_DURATION`` shortens the per-cell measured window for smoke
+runs (CI uses 1 s; the committed artifact uses the 4 s default).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.serving import run_loadgen
+
+from .harness import record_json
+
+DURATION_S = float(os.environ.get("REPRO_SERVING_DURATION", "4.0"))
+
+#: Mean per-client think time. Large against warm service time so the
+#: single-client baseline is think-dominated and the 8-client cell has
+#: idle time to overlap — the regime the scaling gate measures.
+THINK_MS = 40.0
+
+SCALING_FLOOR = 1.5
+
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def serving_cells(bench_db):
+    """Run the three load cells once, share the reports across tests."""
+    common = dict(
+        duration_s=DURATION_S,
+        think_ms=THINK_MS,
+        seed=SEED,
+        corpus_size=32,
+        workers=4,
+        max_queue=128,
+    )
+    one = run_loadgen(bench_db, clients=1, **common)
+    eight = run_loadgen(bench_db, clients=8, **common)
+    overload = run_loadgen(
+        bench_db,
+        clients=8,
+        duration_s=min(DURATION_S, 2.0),
+        think_ms=0.0,
+        seed=SEED,
+        corpus_size=32,
+        workers=1,
+        max_queue=2,
+        warmup=False,
+    )
+    cells = {"clients_1": one, "clients_8": eight, "overload": overload}
+    ratio = (
+        eight.throughput_qps / one.throughput_qps
+        if one.throughput_qps
+        else 0.0
+    )
+    record_json(
+        "BENCH_serving",
+        {
+            "duration_s": DURATION_S,
+            "think_ms": THINK_MS,
+            "cpu_count": os.cpu_count(),
+            "scaling_1_to_8": round(ratio, 3),
+            "scaling_floor": SCALING_FLOOR,
+            "cells": {name: r.to_dict() for name, r in cells.items()},
+        },
+        registry=bench_db.metrics,
+    )
+    return cells
+
+
+def test_throughput_scales_with_clients(serving_cells):
+    one = serving_cells["clients_1"]
+    eight = serving_cells["clients_8"]
+    assert one.ok > 0 and eight.ok > 0
+    ratio = eight.throughput_qps / one.throughput_qps
+    assert ratio >= SCALING_FLOOR, (
+        f"8 clients gave {eight.throughput_qps:.1f} qps vs "
+        f"{one.throughput_qps:.1f} at 1 client ({ratio:.2f}x < "
+        f"{SCALING_FLOOR}x)"
+    )
+
+
+def test_warm_mix_is_clean_and_tail_is_reported(serving_cells):
+    for name in ("clients_1", "clients_8"):
+        report = serving_cells[name]
+        assert report.errors == 0 and report.timeouts == 0
+        assert report.rejection_rate == 0.0
+        assert report.p99_ms >= report.p95_ms >= report.p50_ms > 0.0
+        assert report.max_ms >= report.p99_ms
+
+
+def test_overload_engages_backpressure(serving_cells):
+    overload = serving_cells["overload"]
+    assert overload.rejection_rate > 0.0, (
+        "8 zero-think clients vs a 2-deep queue must trip rejections"
+    )
+    assert overload.ok > 0, "admitted work must still complete"
+    assert overload.errors == 0
+    assert overload.queue_depth_max <= 2

@@ -37,6 +37,7 @@ from .dtypes import (
     ColumnSchema,
     ColumnType,
 )
+from .cancel import CancelToken
 from .engine import Database, QueryResult
 from .errors import (
     CatalogError,
@@ -45,6 +46,8 @@ from .errors import (
     ExecutionError,
     PlanError,
     QuarantinedPartitionError,
+    QueryCancelledError,
+    QueryTimeoutError,
     ReproError,
     SQLError,
     StorageError,
@@ -116,6 +119,9 @@ __all__ = [
     "PlanError",
     "UnsupportedOperationError",
     "ExecutionError",
+    "QueryCancelledError",
+    "QueryTimeoutError",
+    "CancelToken",
     "SQLError",
     "FaultInjector",
     "FaultRule",

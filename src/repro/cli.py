@@ -8,6 +8,8 @@ Installed as the ``repro`` console script::
         WHERE shipdate < '1994-01-01' AND linenum < 7" --strategy lm-parallel
     repro explain ./db "SELECT ... "
     repro scrub ./db --deep
+    repro serve ./db --port 7379 --workers 4
+    repro loadgen ./db --clients 8 --duration 4
     repro calibrate
 """
 
@@ -137,6 +139,56 @@ def build_parser() -> argparse.ArgumentParser:
         help="suppress the human summary line (JSON report only)",
     )
 
+    serve = sub.add_parser(
+        "serve",
+        help="serve the database over TCP (newline-delimited JSON protocol)",
+    )
+    _add_db_argument(serve)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7379)
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads executing admitted queries (default: 2)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=64,
+        help="admission queue bound; offers past it are rejected "
+        "(default: 64)",
+    )
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator: N clients over a Zipfian query mix",
+    )
+    _add_db_argument(loadgen)
+    loadgen.add_argument("--clients", type=int, default=8)
+    loadgen.add_argument(
+        "--duration", type=float, default=4.0, help="seconds (default: 4)"
+    )
+    loadgen.add_argument(
+        "--think-ms", type=float, default=20.0,
+        help="mean per-client think time between queries (default: 20)",
+    )
+    loadgen.add_argument(
+        "--theta", type=float, default=1.1, help="Zipf skew (default: 1.1)"
+    )
+    loadgen.add_argument("--seed", type=int, default=7)
+    loadgen.add_argument(
+        "--corpus", type=int, default=32,
+        help="generated query corpus size (default: 32)",
+    )
+    loadgen.add_argument("--workers", type=int, default=4)
+    loadgen.add_argument("--max-queue", type=int, default=64)
+    loadgen.add_argument("--timeout-ms", type=float, default=None)
+    loadgen.add_argument(
+        "--host", default=None,
+        help="target an already-running server instead of an in-process one",
+    )
+    loadgen.add_argument("--port", type=int, default=None)
+    loadgen.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+
     sub.add_parser(
         "calibrate", help="measure this machine's Table 2 model constants"
     )
@@ -252,6 +304,11 @@ def cmd_explain(args) -> int:
                 f"wall={report['wall_ms']:.2f} ms, "
                 f"model-replay={report['simulated_ms']:.2f} ms"
             )
+            if report.get("queue_wait_ms"):
+                summary += (
+                    f", queue-wait={report['queue_wait_ms']:.2f} ms "
+                    f"(end-to-end {report['total_ms']:.2f} ms)"
+                )
             parts = report.get("partitions")
             if parts:
                 summary += (
@@ -310,6 +367,89 @@ def cmd_scrub(args) -> int:
     return 0 if report.clean else 1
 
 
+def cmd_serve(args) -> int:
+    """`repro serve`: run the query server in the foreground until Ctrl-C."""
+    import asyncio
+
+    from .serving import QueryServer
+
+    db = Database(args.db)
+
+    async def main() -> None:
+        server = QueryServer(
+            db,
+            host=args.host,
+            port=args.port,
+            workers=args.workers,
+            max_queue=args.max_queue,
+        )
+        await server.start()
+        print(
+            f"serving {args.db} on {server.host}:{server.port} "
+            f"({args.workers} workers, queue bound {args.max_queue}); "
+            "Ctrl-C to drain and stop"
+        )
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.shutdown(drain=True)
+            print("drained, bye", file=sys.stderr)
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        # Runner semantics vary across Python versions: SIGINT may cancel
+        # the main task (drain already ran above) or surface here.
+        pass
+    return 0
+
+
+def cmd_loadgen(args) -> int:
+    """`repro loadgen`: closed-loop clients over a seeded Zipfian mix."""
+    import json
+
+    from .serving import run_loadgen
+
+    db = Database(args.db)
+    report = run_loadgen(
+        db,
+        host=args.host,
+        port=args.port,
+        clients=args.clients,
+        duration_s=args.duration,
+        think_ms=args.think_ms,
+        theta=args.theta,
+        seed=args.seed,
+        corpus_size=args.corpus,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        timeout_ms=args.timeout_ms,
+    )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+        return 0
+    d = report.to_dict()
+    print(
+        f"{d['clients']} clients x {d['duration_s']:.1f}s "
+        f"(think {d['think_ms']:.0f} ms, zipf theta={d['theta']}): "
+        f"{d['ok']}/{d['queries']} ok"
+    )
+    print(
+        f"throughput {d['throughput_qps']:.1f} qps, latency p50 "
+        f"{d['p50_ms']:.2f} ms / p95 {d['p95_ms']:.2f} ms / p99 "
+        f"{d['p99_ms']:.2f} ms"
+    )
+    print(
+        f"queue depth max {d['queue_depth_max']} "
+        f"(mean {d['queue_depth_mean']:.2f}), rejection rate "
+        f"{d['rejection_rate']:.1%}, {d['timeouts']} timeouts, "
+        f"{d['errors']} errors"
+    )
+    return 0
+
+
 def cmd_calibrate(_args) -> int:
     """`repro calibrate`: measure this machine's Table 2 constants."""
     from .model import PAPER_CONSTANTS, calibrate_constants
@@ -337,6 +477,8 @@ _COMMANDS = {
     "query": cmd_query,
     "explain": cmd_explain,
     "scrub": cmd_scrub,
+    "serve": cmd_serve,
+    "loadgen": cmd_loadgen,
     "calibrate": cmd_calibrate,
     "reproduce": cmd_reproduce,
 }

@@ -31,6 +31,7 @@ from pathlib import Path
 
 from .buffer import BufferPool, DecodedBlockCache, DiskModel
 from .buffer.decoded import DEFAULT_DECODED_CAPACITY_BYTES
+from .cancel import CancelToken
 from .delta import (
     DeltaStore,
     delta_aggregate,
@@ -97,6 +98,16 @@ class QueryResult:
     def n_rows(self) -> int:
         return self.tuples.n_tuples
 
+    @property
+    def queue_wait_ms(self) -> float:
+        """Milliseconds this query spent queued before execution started.
+
+        Non-zero only for queries routed through a serving-layer admission
+        queue (``Database.query(..., queue_wait_ms=...)``); together with
+        ``wall_ms`` it decomposes end-to-end latency into wait + execute.
+        """
+        return float(self.stats.extra.get("queue_wait_ms", 0.0))
+
     def rows(self) -> list[tuple]:
         """Raw stored values as Python tuples."""
         return self.tuples.rows()
@@ -128,6 +139,11 @@ class QueryResult:
                 f"{stats.positions_intersected} positions intersected"
             ),
         ]
+        if "queue_wait_ms" in stats.extra:
+            lines.append(
+                f"queue wait     {stats.extra['queue_wait_ms']:.2f} ms "
+                f"(end-to-end {stats.extra['queue_wait_ms'] + self.wall_ms:.2f} ms)"
+            )
         if stats.io_retries or stats.io_gave_up:
             lines.append(
                 f"fault recovery {stats.io_retries} retries, "
@@ -139,6 +155,8 @@ class QueryResult:
                 + ", ".join(self.skipped_partitions)
             )
         for key, value in sorted(stats.extra.items()):
+            if key == "queue_wait_ms":  # has its own line above
+                continue
             lines.append(f"{key:<14} {value}")
         if self.trace:
             lines.append("operators:")
@@ -310,7 +328,9 @@ class Database:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _context(self, trace: bool = False) -> ExecutionContext:
+    def _context(
+        self, trace: bool = False, cancel: CancelToken | None = None
+    ) -> ExecutionContext:
         stats = QueryStats()
         return ExecutionContext(
             pool=self.pool,
@@ -325,7 +345,30 @@ class Database:
             tracer=SpanTracer(stats) if trace else None,
             on_error=self.on_error,
             quarantine=self.quarantine,
+            cancel=cancel,
         )
+
+    @staticmethod
+    def _note_queue_wait(ctx: ExecutionContext, queue_wait_ms) -> None:
+        """Record admission-queue wait so latency decomposes wait + execute.
+
+        The wait is surfaced twice: as ``stats.extra["queue_wait_ms"]`` (so
+        ``QueryResult.report()`` and ``queue_wait_ms`` see it) and, when
+        tracing, as a synthetic ``QUEUE`` span under the root. The span
+        carries zero model counters — queue wait is wall-clock only, so
+        every span-tree simulated-time invariant is untouched — and its
+        ``wall_ms`` is backdated to the measured wait.
+        """
+        if not queue_wait_ms:
+            return
+        wait = round(float(queue_wait_ms), 3)
+        if ctx.tracer is not None:
+            span = ctx.tracer.begin("QUEUE")
+            ctx.stats.extra["queue_wait_ms"] = wait
+            ctx.tracer.end(span, queue_wait_ms=wait)
+            span.wall_ms = wait
+        else:
+            ctx.stats.extra["queue_wait_ms"] = wait
 
     @staticmethod
     def _finish_trace(ctx: ExecutionContext, strategy: str) -> Span | None:
@@ -374,6 +417,9 @@ class Database:
         strategy: Strategy | str | None = "auto",
         cold: bool = False,
         trace: bool = False,
+        timeout_ms: float | None = None,
+        cancel: CancelToken | None = None,
+        queue_wait_ms: float | None = None,
     ) -> QueryResult:
         """Execute a logical query.
 
@@ -383,13 +429,36 @@ class Database:
                 choice, or for joins a :class:`RightTableStrategy` / name.
             cold: clear the buffer pool first (cold-cache measurement).
             trace: record per-operator events on ``QueryResult.trace``.
+            timeout_ms: per-query deadline; expiry raises
+                :class:`~repro.errors.QueryTimeoutError` at the next block
+                access. Ignored when *cancel* already carries a deadline.
+            cancel: cooperative :class:`~repro.cancel.CancelToken`, checked
+                on every block access. Tripping it raises
+                :class:`~repro.errors.QueryCancelledError`; with ``trace``
+                on, the truncated-but-valid span tree rides on
+                ``exc.spans``. Either way no partial result escapes.
+            queue_wait_ms: milliseconds the query waited in a serving-layer
+                admission queue before execution; recorded as
+                ``stats.extra["queue_wait_ms"]`` and a ``QUEUE`` span so
+                end-to-end latency decomposes into wait + execute.
         """
+        if timeout_ms is not None:
+            if cancel is None:
+                cancel = CancelToken(timeout_ms=timeout_ms)
+            elif cancel.timeout_ms is None:
+                cancel.timeout_ms = timeout_ms
         if cold:
             self.clear_cache()
         if isinstance(query, JoinQuery):
-            result = self._run_join(query, strategy, trace=trace)
+            result = self._run_join(
+                query, strategy, trace=trace, cancel=cancel,
+                queue_wait_ms=queue_wait_ms,
+            )
         elif isinstance(query, SelectQuery):
-            result = self._run_select(query, strategy, trace=trace)
+            result = self._run_select(
+                query, strategy, trace=trace, cancel=cancel,
+                queue_wait_ms=queue_wait_ms,
+            )
         else:
             raise PlanError(f"cannot execute {type(query).__name__}")
         self.metrics.observe_query(
@@ -432,15 +501,23 @@ class Database:
         return None
 
     def _run_select(
-        self, query: SelectQuery, strategy, trace: bool = False
+        self,
+        query: SelectQuery,
+        strategy,
+        trace: bool = False,
+        cancel: CancelToken | None = None,
+        queue_wait_ms: float | None = None,
     ) -> QueryResult:
         projection = resolve_projection(
             self.catalog, query, constants=self.constants
         )
         resolved = self._resolve_strategy(projection, query, strategy)
-        ctx = self._context(trace=trace)
+        ctx = self._context(trace=trace, cancel=cancel)
+        self._note_queue_wait(ctx, queue_wait_ms)
         start = time.perf_counter()
         try:
+            if cancel is not None:  # e.g. the deadline expired while queued
+                cancel.check()
             pending = self._pending_table(query.projection, projection.anchor)
             if pending is None:
                 tuples = execute_select(ctx, projection, query, resolved)
@@ -565,7 +642,12 @@ class Database:
         return moved
 
     def _run_join(
-        self, query: JoinQuery, strategy, trace: bool = False
+        self,
+        query: JoinQuery,
+        strategy,
+        trace: bool = False,
+        cancel: CancelToken | None = None,
+        queue_wait_ms: float | None = None,
     ) -> QueryResult:
         for side in (query.left, query.right):
             candidates = self.catalog.candidates(side)
@@ -589,9 +671,12 @@ class Database:
             resolved = strategy
         else:
             resolved = RightTableStrategy.from_name(str(strategy))
-        ctx = self._context(trace=trace)
+        ctx = self._context(trace=trace, cancel=cancel)
+        self._note_queue_wait(ctx, queue_wait_ms)
         start = time.perf_counter()
         try:
+            if cancel is not None:
+                cancel.check()
             tuples = execute_join(ctx, left, right, query, resolved)
         except BaseException as exc:
             self._abort_trace(ctx, exc)
@@ -629,6 +714,9 @@ class Database:
         strategy: Strategy | str | None = "auto",
         encodings: dict[str, str] | None = None,
         cold: bool = False,
+        timeout_ms: float | None = None,
+        cancel: CancelToken | None = None,
+        queue_wait_ms: float | None = None,
     ) -> QueryResult:
         """Parse, bind, and execute a SQL statement.
 
@@ -637,11 +725,19 @@ class Database:
             strategy: materialization strategy, as for :meth:`query`.
             encodings: optional column -> stored-encoding override.
             cold: clear the buffer pool first.
+            timeout_ms / cancel / queue_wait_ms: as for :meth:`query`.
         """
         from .sql import bind, parse
 
         query = bind(parse(statement), self.catalog, encodings=encodings)
-        return self.query(query, strategy=strategy, cold=cold)
+        return self.query(
+            query,
+            strategy=strategy,
+            cold=cold,
+            timeout_ms=timeout_ms,
+            cancel=cancel,
+            queue_wait_ms=queue_wait_ms,
+        )
 
     def describe(self, query: SelectQuery, strategy: Strategy | str = "auto") -> str:
         """Render the physical plan for *query* without executing it."""
@@ -659,6 +755,9 @@ class Database:
         resident: float = 0.0,
         analyze: bool = False,
         strategy: Strategy | str | None = "auto",
+        timeout_ms: float | None = None,
+        cancel: CancelToken | None = None,
+        queue_wait_ms: float | None = None,
     ) -> dict:
         """Per-strategy model predictions for *query* (the optimizer's view).
 
@@ -668,18 +767,31 @@ class Database:
 
         With ``analyze=True`` the query is *executed* (with tracing on, under
         the given *strategy*) and the result is an EXPLAIN ANALYZE report
-        instead: ``{"strategy", "rows", "wall_ms", "simulated_ms", "root"
-        (the Span tree), "text" (rendered tree), "json" (export dict)}``.
+        instead: ``{"strategy", "rows", "wall_ms", "simulated_ms",
+        "queue_wait_ms", "total_ms", "root" (the Span tree), "text"
+        (rendered tree), "json" (export dict)}``. ``queue_wait_ms`` is the
+        admission-queue wait passed through to :meth:`query` (0.0 outside a
+        serving context) and ``total_ms`` is wait + execute, so serving
+        latency decomposes in the report itself.
         """
         if analyze:
             from .planner.describe import render_span_tree
 
-            result = self.query(query, strategy=strategy, trace=True)
+            result = self.query(
+                query,
+                strategy=strategy,
+                trace=True,
+                timeout_ms=timeout_ms,
+                cancel=cancel,
+                queue_wait_ms=queue_wait_ms,
+            )
             report = {
                 "strategy": result.strategy,
                 "rows": result.n_rows,
                 "wall_ms": result.wall_ms,
                 "simulated_ms": result.simulated_ms,
+                "queue_wait_ms": result.queue_wait_ms,
+                "total_ms": result.queue_wait_ms + result.wall_ms,
                 "root": result.spans,
                 "text": render_span_tree(result.spans, self.constants),
                 "json": result.spans.to_dict(self.constants),

@@ -79,5 +79,26 @@ class ExecutionError(ReproError):
     """An operator tree entered an inconsistent state during execution."""
 
 
+class QueryCancelledError(ReproError):
+    """A query was cooperatively cancelled before it completed.
+
+    Raised from :meth:`repro.cancel.CancelToken.check`, which the execution
+    context consults on every block access — so cancellation lands at a
+    block boundary, never mid-operator. When the query was traced, the
+    truncated-but-valid span tree is attached as ``exc.spans`` (the same
+    contract as storage failures): either a complete result is returned or
+    the whole execution is abandoned. There is no partial result.
+    """
+
+
+class QueryTimeoutError(QueryCancelledError):
+    """A query exceeded its deadline (per-query ``timeout_ms``).
+
+    The deadline covers the query's whole life, including any time spent in
+    a serving-layer admission queue — a query that waited out its budget is
+    cancelled before execution even starts.
+    """
+
+
 class SQLError(ReproError):
     """The SQL front-end could not tokenize, parse, or bind a statement."""

@@ -74,6 +74,10 @@ class ExecutionContext:
     #: any newly quarantined mid-query), in partition order. The engine
     #: surfaces a non-empty list as ``QueryResult.degraded``.
     skipped_partitions: list = field(default_factory=list)
+    #: Cooperative cancellation/deadline token (:mod:`repro.cancel`),
+    #: consulted on every block access. ``None`` (the default) keeps the
+    #: hot path to a single identity check.
+    cancel: "object | None" = None
 
     def __post_init__(self) -> None:
         # Eager decompression is the "never operate on compressed data"
@@ -111,7 +115,14 @@ class ExecutionContext:
 
         The tracer rides along so a transient-fault retry inside the pool
         shows up as a ``RETRY`` span under the reading operator.
+
+        This is also the cancellation point: a tripped or expired
+        :class:`~repro.cancel.CancelToken` raises here, at a block boundary,
+        so a cancelled query unwinds without ever producing a partial
+        result.
         """
+        if self.cancel is not None:
+            self.cancel.check()
         self.stats.block_iterations += 1
         return self.pool.get(column_file, index, self.stats, tracer=self.tracer)
 
@@ -207,6 +218,7 @@ class ExecutionContext:
             tracer=SpanTracer(stats) if self.tracer is not None else None,
             on_error=self.on_error,
             quarantine=self.quarantine,
+            cancel=self.cancel,
         )
 
     def map_leaves(

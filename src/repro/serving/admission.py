@@ -1,0 +1,128 @@
+"""Bounded admission queue with priority classes and backpressure.
+
+The serving layer's front door: every query a client submits is *offered*
+to this queue, and a fixed pool of worker threads *takes* from it. The
+queue is deliberately a plain synchronous data structure (a lock, a
+condition variable, one deque per priority class) with no asyncio or
+engine dependencies, so its invariants are directly checkable by the
+Hypothesis property suite:
+
+* **bounded depth** — :meth:`offer` never grows the queue past
+  ``max_depth``; a full queue rejects (returns ``False``) instead of
+  blocking, which is the backpressure signal the server turns into a
+  ``rejected`` response.
+* **strict priority** — :meth:`take` always returns the head of the
+  highest non-empty priority class (``interactive`` > ``normal`` >
+  ``batch``).
+* **FIFO within a class** — two offers at the same priority are taken in
+  offer order; no starvation *within* a class. (Across classes, strict
+  priority means a saturated ``interactive`` stream can starve ``batch``
+  — the conventional trade; bound the interactive share at the client.)
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+
+#: Priority classes, highest first. ``take`` drains them in this order.
+PRIORITIES: tuple[str, ...] = ("interactive", "normal", "batch")
+
+DEFAULT_MAX_DEPTH = 64
+
+
+class AdmissionQueue:
+    """Bounded multi-class FIFO queue; full means reject, never block."""
+
+    def __init__(self, max_depth: int = DEFAULT_MAX_DEPTH):
+        if max_depth < 1:
+            raise ValueError("max_depth must be at least 1")
+        self.max_depth = max_depth
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._queues: dict[str, deque] = {p: deque() for p in PRIORITIES}
+        self._depth = 0
+        self._closed = False
+        # Lifetime tallies, read by metrics()/the server's stats op.
+        self.admitted = 0
+        self.rejected = 0
+        self.taken = 0
+        self.peak_depth = 0
+
+    # ----------------------------------------------------------- producers
+
+    def offer(self, item, priority: str = "normal") -> bool:
+        """Enqueue *item*; False when full or closed (backpressure)."""
+        if priority not in self._queues:
+            raise ValueError(
+                f"unknown priority {priority!r} (use one of {PRIORITIES})"
+            )
+        with self._not_empty:
+            if self._closed or self._depth >= self.max_depth:
+                self.rejected += 1
+                return False
+            self._queues[priority].append(item)
+            self._depth += 1
+            self.admitted += 1
+            self.peak_depth = max(self.peak_depth, self._depth)
+            self._not_empty.notify()
+            return True
+
+    # ----------------------------------------------------------- consumers
+
+    def take(self, timeout: float | None = None):
+        """Dequeue the highest-priority item, FIFO within its class.
+
+        Blocks up to *timeout* seconds (forever when ``None``) and returns
+        ``None`` on timeout. After :meth:`close`, remaining items are still
+        drained; once empty, ``None`` is returned immediately — the worker
+        shutdown signal.
+        """
+        with self._not_empty:
+            while True:
+                for priority in PRIORITIES:
+                    queue = self._queues[priority]
+                    if queue:
+                        self._depth -= 1
+                        self.taken += 1
+                        return queue.popleft()
+                if self._closed:
+                    return None
+                if not self._not_empty.wait(timeout):
+                    return None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def close(self) -> None:
+        """Stop admitting; wake every blocked :meth:`take` (idempotent)."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def depth(self) -> int:
+        """Items currently queued across all classes."""
+        with self._lock:
+            return self._depth
+
+    def depths(self) -> dict[str, int]:
+        """Per-class queued counts (one consistent snapshot)."""
+        with self._lock:
+            return {p: len(q) for p, q in self._queues.items()}
+
+    def metrics(self) -> dict:
+        """Collector payload for :class:`~repro.metrics.MetricsRegistry`."""
+        with self._lock:
+            return {
+                "depth": self._depth,
+                "max_depth": self.max_depth,
+                "peak_depth": self.peak_depth,
+                "admitted": self.admitted,
+                "taken": self.taken,
+                "rejected": self.rejected,
+                "per_class": {p: len(q) for p, q in self._queues.items()},
+                "closed": self._closed,
+            }

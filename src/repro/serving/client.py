@@ -1,0 +1,86 @@
+"""Asyncio client for the repro query server.
+
+One connection, strictly request/response: :meth:`AsyncQueryClient.request`
+writes a JSON line and awaits the matching response line. Convenience
+wrappers cover the common ops; the raw :meth:`request` takes any protocol
+dict. Used by the load generator, the concurrency differential harness and
+the serving tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from .protocol import query_to_dict
+from .server import STREAM_LIMIT
+
+
+class AsyncQueryClient:
+    """Line-protocol client bound to one server connection."""
+
+    def __init__(self, reader, writer, greeting: dict):
+        self._reader = reader
+        self._writer = writer
+        self.greeting = greeting
+        self.session_id = greeting.get("session_id")
+
+    @classmethod
+    async def connect(
+        cls, host: str = "127.0.0.1", port: int = 0
+    ) -> "AsyncQueryClient":
+        """Open a connection and consume the server greeting."""
+        reader, writer = await asyncio.open_connection(
+            host, port, limit=STREAM_LIMIT
+        )
+        greeting = json.loads(await reader.readline())
+        return cls(reader, writer, greeting)
+
+    async def request(self, payload: dict) -> dict:
+        """Send one protocol dict, await and parse the response line."""
+        self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
+        await self._writer.drain()
+        line = await self._reader.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    # ----------------------------------------------------------- conveniences
+
+    async def sql(self, statement: str, **knobs) -> dict:
+        return await self.request({"op": "sql", "sql": statement, **knobs})
+
+    async def query(self, query, **knobs) -> dict:
+        """Run a logical SelectQuery/JoinQuery object."""
+        return await self.request(
+            {"op": "query", "query": query_to_dict(query), **knobs}
+        )
+
+    async def explain(self, statement: str, analyze: bool = True, **knobs) -> dict:
+        return await self.request(
+            {"op": "explain", "sql": statement, "analyze": analyze, **knobs}
+        )
+
+    async def set_knobs(self, **knobs) -> dict:
+        return await self.request({"op": "set", "knobs": knobs})
+
+    async def session(self) -> dict:
+        return await self.request({"op": "session"})
+
+    async def stats(self) -> dict:
+        return await self.request({"op": "stats"})
+
+    async def ping(self) -> dict:
+        return await self.request({"op": "ping"})
+
+    async def close(self) -> None:
+        """Polite close: send the close op, then tear the socket down."""
+        try:
+            await self.request({"op": "close"})
+        except (ConnectionError, json.JSONDecodeError):
+            pass
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass

@@ -10,6 +10,7 @@ physical representation to scan.
 from __future__ import annotations
 
 import json
+import threading
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import ClassVar
@@ -40,15 +41,23 @@ class ProjectionColumn:
     index_path: Path | None = None
     _open_files: dict[str, ColumnFile] = field(default_factory=dict)
     _index: ClusteredIndex | None = field(default=None, repr=False)
+    #: Guards the lazy ``_open_files`` / ``_index`` population: concurrent
+    #: queries share one ProjectionColumn, and an unsynchronized
+    #: check-then-act here would open duplicate handles (wasting the
+    #: buffer pool's per-file accounting) or double-load the index.
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     @property
     def index(self) -> ClusteredIndex | None:
         """The column's clustered index, if one was built (sort-key columns)."""
         if self.index_path is None:
             return None
-        if self._index is None:
-            self._index = ClusteredIndex.load(self.index_path)
-        return self._index
+        with self._lock:
+            if self._index is None:
+                self._index = ClusteredIndex.load(self.index_path)
+            return self._index
 
     @property
     def encodings(self) -> list[str]:
@@ -90,9 +99,12 @@ class ProjectionColumn:
                 f"column {self.schema.name!r} has no {encoding!r} encoding "
                 f"(available: {self.encodings})"
             )
-        if encoding not in self._open_files:
-            self._open_files[encoding] = ColumnFile.open(self.files[encoding])
-        return self._open_files[encoding]
+        with self._lock:
+            if encoding not in self._open_files:
+                self._open_files[encoding] = ColumnFile.open(
+                    self.files[encoding]
+                )
+            return self._open_files[encoding]
 
 
 @dataclass

@@ -34,6 +34,15 @@ compressed data is purely physical, so all executions must agree — and the
 sweep asserts kernel scans actually happened on the compressed side and
 never on the plain side.
 
+A fifth, **concurrency** axis (:func:`run_concurrent_differential`) runs
+every query serially to establish reference rows, then replays the whole
+(query, strategy) matrix through the asyncio query server with 8 concurrent
+client sessions sharing one Database: admission queueing, worker-thread
+execution, shared caches under contention and the JSON wire format are all
+purely physical, so every served execution must reproduce the serial rows
+bit for bit. Engine values are integers end to end, so the JSON round trip
+is exact and "bit-identical" is a meaningful comparison over the wire.
+
 Known physical limitation: LM-pipelined cannot position-filter bit-vector
 encoded columns (``UnsupportedOperationError``); such runs are recorded as
 skips, not failures.
@@ -313,6 +322,113 @@ def run_compressed_differential(
                     report.record_mismatch(
                         query, strategy.value, reference, rows
                     )
+    return report
+
+
+def run_concurrent_differential(
+    db,
+    n_queries: int = 30,
+    seed: int = 0,
+    projection: str = "lineitem",
+    strategies=STRATEGIES,
+    sessions: int = 8,
+    workers: int = 4,
+    max_queue: int = 256,
+) -> DifferentialReport:
+    """The concurrency axis: the serving stack changes nothing.
+
+    Every generated query first runs *serially* on *db* (EM-parallel
+    reference — it supports every encoding — traced, with the span
+    invariants checked). Then the full (query, strategy) matrix is
+    replayed through an in-process :class:`~repro.serving.ServerThread`
+    over the **same** Database by *sessions* concurrent client
+    connections, work-stealing from a shared list in a seeded shuffled
+    order and rotating through the admission priority classes. Admission
+    queueing, worker-thread execution, cache contention and the JSON wire
+    format are all purely physical, so every served row set must equal the
+    serial reference bit for bit (engine values are integers end to end,
+    so the JSON round trip is exact).
+
+    ``max_queue`` defaults high enough that backpressure cannot reject
+    work mid-sweep (at most *sessions* requests are ever in flight);
+    rejection behaviour has its own tests. ``report.runs`` counts served
+    executions only; ``report.compressed_scans`` / ``morphs`` accumulate
+    from serial LM-parallel runs, since EM references decompress eagerly
+    and the wire protocol does not carry engine counters.
+    """
+    import asyncio
+
+    from repro.serving import AsyncQueryClient, ServerThread, query_to_dict
+    from repro.serving.admission import PRIORITIES
+
+    gen = QueryGenerator(db, projection=projection, seed=seed)
+    queries = [gen.next_query() for _ in range(n_queries)]
+    report = DifferentialReport()
+    report.queries = n_queries
+    references = []
+    for query in queries:
+        report.encodings_used.update(dict(query.encodings).values())
+        result = db.query(query, strategy=Strategy.EM_PARALLEL, trace=True)
+        check_span_invariants(result, db.constants)
+        references.append(sorted(result.rows()))
+        # EM decompresses eagerly (compressed execution is off there by
+        # construction), so kernel counters come from a serial LM run.
+        lm = db.query(query, strategy=Strategy.LM_PARALLEL)
+        report.compressed_scans += lm.stats.compressed_scans
+        report.morphs += lm.stats.morphs
+
+    qdicts = [query_to_dict(q) for q in queries]
+    work = [
+        (qi, strategy.value)
+        for qi in range(n_queries)
+        for strategy in strategies
+    ]
+    random.Random(seed).shuffle(work)
+    outcomes: list[tuple[int, str, dict]] = []
+
+    async def _session(si: int, host: str, port: int, cursor: list) -> None:
+        client = await AsyncQueryClient.connect(host, port)
+        try:
+            while True:
+                if cursor[0] >= len(work):
+                    return
+                item = cursor[0]
+                cursor[0] += 1
+                qi, strategy = work[item]
+                response = await client.request(
+                    {
+                        "op": "query",
+                        "query": qdicts[qi],
+                        "strategy": strategy,
+                        "priority": PRIORITIES[si % len(PRIORITIES)],
+                    }
+                )
+                outcomes.append((qi, strategy, response))
+        finally:
+            await client.close()
+
+    async def _drive(host: str, port: int) -> None:
+        cursor = [0]  # single event loop -> plain shared index is safe
+        await asyncio.gather(
+            *(_session(si, host, port, cursor) for si in range(sessions))
+        )
+
+    with ServerThread(db, workers=workers, max_queue=max_queue) as server:
+        asyncio.run(_drive(server.host, server.port))
+
+    for qi, strategy, response in outcomes:
+        if not response.get("ok"):
+            error_type = response.get("error", {}).get("type")
+            if error_type == "UnsupportedOperationError":
+                report.skipped += 1
+                continue
+            raise AssertionError(
+                f"served query {qi} ({strategy}) failed: {response}"
+            )
+        report.runs += 1
+        rows = sorted(tuple(row) for row in response["rows"])
+        if rows != references[qi]:
+            report.record_mismatch(queries[qi], strategy, references[qi], rows)
     return report
 
 

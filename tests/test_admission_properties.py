@@ -1,0 +1,202 @@
+"""Property tests for the admission queue and the cancellation contract.
+
+Two Hypothesis suites:
+
+* The :class:`~repro.serving.AdmissionQueue` is checked against a
+  reference model (one plain deque per priority class) over arbitrary
+  offer/take/close interleavings — depth never exceeds the bound, strict
+  priority across classes, FIFO within a class, and the lifetime tallies
+  stay consistent.
+* The cancellation contract is checked by tripping a counting
+  :class:`~repro.cancel.CancelToken` after an arbitrary number of block
+  accesses mid-query: execution either completes with exactly the
+  reference rows or raises :class:`~repro.errors.QueryCancelledError`
+  carrying a closed (no open spans) truncated span tree — never a partial
+  result, never a half-open trace.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import (
+    CancelToken,
+    Database,
+    QueryCancelledError,
+    QueryTimeoutError,
+    load_tpch,
+)
+from repro.serving import AdmissionQueue, PRIORITIES
+
+from .differential import QueryGenerator
+
+# ----------------------------------------------------------------- queue model
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("offer"), st.sampled_from(PRIORITIES)),
+        st.tuples(st.just("take"), st.none()),
+    ),
+    max_size=120,
+)
+
+
+class TestAdmissionQueueProperties:
+    @given(ops=OPS, bound=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_reference_model(self, ops, bound):
+        queue = AdmissionQueue(max_depth=bound)
+        model = {p: deque() for p in PRIORITIES}
+        seq = 0
+        offered = accepted_n = taken_n = 0
+        for op, priority in ops:
+            if op == "offer":
+                offered += 1
+                depth_before = sum(len(q) for q in model.values())
+                accepted = queue.offer(seq, priority=priority)
+                assert accepted == (depth_before < bound), (
+                    "offer must accept iff below the bound"
+                )
+                if accepted:
+                    model[priority].append(seq)
+                    accepted_n += 1
+                seq += 1
+            else:
+                got = queue.take(timeout=0)
+                expected = None
+                for p in PRIORITIES:  # strict priority, FIFO within class
+                    if model[p]:
+                        expected = model[p].popleft()
+                        break
+                assert got == expected
+                if got is not None:
+                    taken_n += 1
+            depth = sum(len(q) for q in model.values())
+            assert queue.depth() == depth <= bound
+            assert queue.depths() == {p: len(q) for p, q in model.items()}
+        assert queue.admitted == accepted_n
+        assert queue.rejected == offered - accepted_n
+        assert queue.taken == taken_n
+        assert queue.peak_depth <= bound
+        # Drain: everything the model still holds comes out in class order.
+        leftovers = [x for p in PRIORITIES for x in model[p]]
+        drained = []
+        while True:
+            item = queue.take(timeout=0)
+            if item is None:
+                break
+            drained.append(item)
+        assert drained == leftovers
+        assert queue.depth() == 0
+
+    @given(
+        preload=st.lists(st.sampled_from(PRIORITIES), max_size=10),
+        bound=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_close_rejects_offers_but_drains_takes(self, preload, bound):
+        queue = AdmissionQueue(max_depth=bound)
+        admitted = []
+        for i, priority in enumerate(preload):
+            if queue.offer(i, priority=priority):
+                admitted.append((priority, i))
+        queue.close()
+        assert queue.closed
+        assert not queue.offer(999)  # closed queue admits nothing
+        expected = [
+            i for p in PRIORITIES for (q, i) in admitted if q == p
+        ]
+        drained = []
+        while True:
+            item = queue.take(timeout=0)
+            if item is None:
+                break
+            drained.append(item)
+        assert drained == expected
+        # Post-drain, take is an immediate None (worker shutdown signal),
+        # even with a blocking timeout.
+        assert queue.take(timeout=10.0) is None
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=0)
+        with pytest.raises(ValueError):
+            AdmissionQueue(max_depth=4).offer(1, priority="vip")
+
+
+# ------------------------------------------------------------- cancellation
+
+class TripAfter(CancelToken):
+    """A token that trips itself after N engine check() calls."""
+
+    def __init__(self, n: int):
+        super().__init__()
+        self.remaining = n
+
+    def check(self) -> None:
+        if self.remaining <= 0:
+            self.cancel("tripped by test")
+        self.remaining -= 1
+        super().check()
+
+
+N_QUERIES = 6
+_state: dict = {}
+
+
+@pytest.fixture(scope="module")
+def cancel_corpus(tmp_path_factory):
+    """A small db plus pre-generated queries and serial reference rows."""
+    if not _state:
+        db = Database(tmp_path_factory.mktemp("cancel") / "db")
+        load_tpch(db.catalog, scale=0.001, seed=7)
+        gen = QueryGenerator(db, projection="lineitem", seed=11)
+        queries = [gen.next_query() for _ in range(N_QUERIES)]
+        references = [sorted(db.query(q).rows()) for q in queries]
+        _state.update(db=db, queries=queries, references=references)
+    return _state
+
+
+class TestCancellationContract:
+    @given(
+        trip=st.integers(min_value=0, max_value=80),
+        qi=st.integers(min_value=0, max_value=N_QUERIES - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_all_or_nothing(self, cancel_corpus, trip, qi):
+        db = cancel_corpus["db"]
+        token = TripAfter(trip)
+        try:
+            result = db.query(
+                cancel_corpus["queries"][qi], cancel=token, trace=True
+            )
+        except QueryCancelledError as exc:
+            # Cancelled: a closed, truncated-but-valid span tree, no result.
+            assert exc.spans is not None
+            assert exc.spans.status == "error"
+            assert exc.spans.open_spans() == []
+            assert exc.spans.name == "query"
+        else:
+            # Not cancelled: bit-identical to the serial reference.
+            assert sorted(result.rows()) == cancel_corpus["references"][qi]
+            assert result.spans.open_spans() == []
+
+    @given(qi=st.integers(min_value=0, max_value=N_QUERIES - 1))
+    @settings(max_examples=10, deadline=None)
+    def test_zero_deadline_always_times_out(self, cancel_corpus, qi):
+        db = cancel_corpus["db"]
+        with pytest.raises(QueryTimeoutError) as info:
+            db.query(cancel_corpus["queries"][qi], timeout_ms=0, trace=True)
+        assert info.value.spans.open_spans() == []
+
+    def test_external_timeout_is_a_cancel(self, cancel_corpus):
+        # QueryTimeoutError is-a QueryCancelledError: one except clause
+        # covers both in the serving layer.
+        assert issubclass(QueryTimeoutError, QueryCancelledError)
+        token = CancelToken(timeout_ms=0)
+        assert token.expired()
+        with pytest.raises(QueryTimeoutError):
+            token.check()

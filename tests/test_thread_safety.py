@@ -1,0 +1,172 @@
+"""Thread-safety regression tests for the serving layer's shared state.
+
+The query server runs many worker threads over *one* Database, so every
+structure a query execution touches — buffer pool, decoded-block cache,
+metrics registry, per-query stats, lazily-opened column files — is hammered
+here from many threads at once. The audit behind this file found exactly
+one unsynchronized check-then-act: :class:`ProjectionColumn`'s lazy
+``file()``/``index`` population, now guarded by a per-column lock; the
+barrier tests at the bottom are its regression tests.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro import Database, MetricsRegistry, Predicate, SelectQuery, load_tpch
+
+N_THREADS = 8
+
+
+def _run_all(n, fn):
+    """Run *fn(i)* on n threads after a common barrier; re-raise failures."""
+    barrier = threading.Barrier(n)
+    errors: list[BaseException] = []
+    results: dict[int, object] = {}
+
+    def runner(i):
+        try:
+            barrier.wait()
+            results[i] = fn(i)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [threading.Thread(target=runner, args=(i,)) for i in range(n)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    if errors:
+        raise errors[0]
+    return [results[i] for i in range(n)]
+
+
+QUERY = SelectQuery(
+    projection="lineitem",
+    select=("shipdate", "linenum"),
+    predicates=(Predicate("shipdate", "<", 9200),),
+)
+
+
+class TestDecodedCacheUnderContention:
+    def test_eviction_churn_keeps_results_and_accounting_exact(
+        self, tmp_path
+    ):
+        # A decoded cache far smaller than the working set forces constant
+        # insert/evict churn from every thread.
+        db = Database(tmp_path / "db", decoded_cache_bytes=64 * 1024)
+        load_tpch(db.catalog, scale=0.002, seed=7)
+        reference = sorted(db.query(QUERY).rows())
+
+        def worker(i):
+            rows = None
+            for _ in range(5):
+                rows = sorted(db.query(QUERY).rows())
+                assert rows == reference
+            return rows
+
+        results = _run_all(N_THREADS, worker)
+        assert all(r == reference for r in results)
+        cache = db.decoded
+        with cache._lock:
+            booked = sum(nbytes for _value, nbytes in cache._cache.values())
+            assert cache._bytes == booked, (
+                "byte accounting diverged from cache contents"
+            )
+            assert (
+                cache._bytes <= cache.capacity_bytes
+                or len(cache._cache) == 1
+            )
+        db.close()
+
+    def test_disabled_cache_still_safe(self, tmp_path):
+        db = Database(tmp_path / "db", decoded_cache_bytes=0)
+        load_tpch(db.catalog, scale=0.001, seed=7)
+        reference = sorted(db.query(QUERY).rows())
+        results = _run_all(
+            N_THREADS, lambda i: sorted(db.query(QUERY).rows())
+        )
+        assert all(r == reference for r in results)
+        db.close()
+
+
+class TestMetricsRegistryUnderContention:
+    def test_counter_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("stress_total")
+        per_thread = 2000
+
+        def worker(i):
+            for _ in range(per_thread):
+                counter.inc()
+
+        _run_all(N_THREADS, worker)
+        assert counter.value == N_THREADS * per_thread
+
+    def test_histogram_records_are_exact(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("stress_ms")
+        per_thread = 500
+
+        def worker(i):
+            for k in range(per_thread):
+                hist.record(float(i * per_thread + k))
+
+        _run_all(N_THREADS, worker)
+        snap = hist.snapshot()
+        assert snap["count"] == N_THREADS * per_thread
+        total = N_THREADS * per_thread
+        assert snap["sum_ms"] == sum(range(total))
+        assert snap["max_ms"] == float(total - 1)
+
+    def test_observe_query_concurrently(self, tpch_db):
+        registry = tpch_db.metrics
+        before = registry.snapshot()["counters"].get("queries_total", 0)
+        _run_all(N_THREADS, lambda i: tpch_db.query(QUERY))
+        after = registry.snapshot()["counters"]["queries_total"]
+        assert after - before == N_THREADS
+
+
+class TestQueryStatsIsolation:
+    def test_concurrent_warm_runs_match_serial_stats(self, tpch_db):
+        # Per-query stats are created per execution; concurrent runs of the
+        # same query must all report the serial warm counters, not a blend.
+        tpch_db.query(QUERY)  # warm
+        serial = tpch_db.query(QUERY).stats
+        results = _run_all(N_THREADS, lambda i: tpch_db.query(QUERY))
+        for result in results:
+            assert result.stats.values_scanned == serial.values_scanned
+            assert result.stats.disk_seeks == serial.disk_seeks
+            assert result.stats.function_calls == serial.function_calls
+            assert result.n_rows == results[0].n_rows
+
+
+class TestLazyColumnInitRaces:
+    """Regression: ProjectionColumn's lazy init is a per-column lock now."""
+
+    N_RACERS = 16
+
+    def test_file_open_returns_one_object(self, tmp_path):
+        db = Database(tmp_path / "db")
+        load_tpch(db.catalog, scale=0.001, seed=7)
+        # A second Database over the same files gets fresh (unopened)
+        # ProjectionColumn instances — the race window under test.
+        fresh = Database(tmp_path / "db")
+        column = fresh.projection("lineitem").column("shipdate")
+        files = _run_all(self.N_RACERS, lambda i: column.file())
+        assert len({id(f) for f in files}) == 1
+        assert len(column._open_files) == 1
+        fresh.close()
+        db.close()
+
+    def test_index_load_returns_one_object(self, tmp_path):
+        db = Database(tmp_path / "db")
+        load_tpch(db.catalog, scale=0.001, seed=7)
+        fresh = Database(tmp_path / "db")
+        proj = fresh.projection("lineitem")
+        column = proj.column(proj.sort_keys[0])
+        indexes = _run_all(self.N_RACERS, lambda i: column.index)
+        assert indexes[0] is not None
+        assert len({id(ix) for ix in indexes}) == 1
+        fresh.close()
+        db.close()
