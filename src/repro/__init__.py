@@ -75,6 +75,14 @@ from .planner import (
     choose_strategy,
 )
 from .predicates import InPredicate, Predicate
+from .exposition import render_prometheus
+from .qlog import QueryLog, query_fingerprint, query_template, read_query_log
+from .workload import (
+    ReplayReport,
+    WorkloadSummary,
+    replay_log,
+    summarize_log,
+)
 from .tpch import load_tpch
 
 __version__ = "0.1.0"
@@ -131,4 +139,13 @@ __all__ = [
     "ScrubIssue",
     "ScrubReport",
     "scrub_catalog",
+    "QueryLog",
+    "read_query_log",
+    "query_fingerprint",
+    "query_template",
+    "WorkloadSummary",
+    "summarize_log",
+    "ReplayReport",
+    "replay_log",
+    "render_prometheus",
 ]

@@ -186,7 +186,80 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadgen.add_argument("--port", type=int, default=None)
     loadgen.add_argument(
+        "--json",
+        nargs="?",
+        const="-",
+        default=None,
+        metavar="PATH",
+        help="emit the report as JSON: bare --json prints to stdout, "
+        "--json PATH writes an artifact file (and still prints the "
+        "human summary)",
+    )
+
+    workload = sub.add_parser(
+        "workload",
+        help="summarize a captured query log (templates, latency, mixes)",
+    )
+    workload.add_argument(
+        "log", help="query-log directory (<db>/_qlog) or one segment file"
+    )
+    workload.add_argument(
+        "--top", type=int, default=10,
+        help="templates to list, by total wall time (default: 10)",
+    )
+    workload.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute a captured query log against a database",
+    )
+    _add_db_argument(replay)
+    replay.add_argument(
+        "log", help="query-log directory (<db>/_qlog) or one segment file"
+    )
+    replay.add_argument(
+        "--check", action="store_true",
+        help="assert each replayed result is bit-identical to the "
+        "recorded result hash; exit 1 on any mismatch",
+    )
+    replay.add_argument(
+        "--limit", type=int, default=None,
+        help="replay at most N eligible records",
+    )
+    replay.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
+    )
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="fetch Prometheus-format metrics from a running server",
+    )
+    metrics.add_argument("--host", default="127.0.0.1")
+    metrics.add_argument("--port", type=int, default=7379)
+    metrics.add_argument(
+        "--json", action="store_true",
+        help="raw registry export + serving stats instead of text format",
+    )
+
+    top = sub.add_parser(
+        "top",
+        help="live refreshing terminal view of a running server",
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7379)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    top.add_argument(
+        "--count", type=int, default=None,
+        help="exit after N refreshes (default: run until Ctrl-C)",
+    )
+    top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
     )
 
     sub.add_parser(
@@ -427,9 +500,14 @@ def cmd_loadgen(args) -> int:
         max_queue=args.max_queue,
         timeout_ms=args.timeout_ms,
     )
-    if args.json:
+    if args.json == "-":
         print(json.dumps(report.to_dict(), indent=2))
         return 0
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as f:
+            json.dump(report.to_dict(), f, indent=2)
+            f.write("\n")
+        print(f"-- wrote load report to {args.json}", file=sys.stderr)
     d = report.to_dict()
     print(
         f"{d['clients']} clients x {d['duration_s']:.1f}s "
@@ -448,6 +526,202 @@ def cmd_loadgen(args) -> int:
         f"{d['errors']} errors"
     )
     return 0
+
+
+def cmd_workload(args) -> int:
+    """`repro workload`: aggregate a query log into a workload summary."""
+    import json
+
+    from .qlog import read_query_log
+    from .workload import summarize_log
+
+    records = read_query_log(args.log)
+    summary = summarize_log(records)
+    if args.json:
+        print(json.dumps(summary.to_dict(top=args.top), indent=2))
+    else:
+        print(summary.render(top=args.top))
+    return 0
+
+
+def cmd_replay(args) -> int:
+    """`repro replay`: re-execute a captured log; --check gates bit-identity.
+
+    The replay database opens with its own recorder off, so replaying a log
+    never appends to it.
+    """
+    import json
+
+    from .qlog import read_query_log
+    from .workload import replay_log
+
+    records = read_query_log(args.log)
+    db = Database(args.db, query_log=False)
+    try:
+        report = replay_log(db, records, check=args.check, limit=args.limit)
+    finally:
+        db.close()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if (not args.check or report.ok) else 1
+
+
+def cmd_metrics(args) -> int:
+    """`repro metrics`: scrape a running server's metrics exposition."""
+    import asyncio
+    import json
+
+    from .serving import AsyncQueryClient
+
+    async def fetch() -> dict:
+        client = await AsyncQueryClient.connect(args.host, args.port)
+        try:
+            return await client.metrics(
+                format="json" if args.json else "prometheus"
+            )
+        finally:
+            await client.close()
+
+    try:
+        response = asyncio.run(fetch())
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"error: cannot reach {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    if not response.get("ok"):
+        print(f"error: {response.get('error')}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(
+            {"metrics": response["metrics"], "stats": response["stats"]},
+            indent=2,
+        ))
+    else:
+        print(response["text"], end="")
+    return 0
+
+
+def _render_top_frame(payload: dict, previous: dict | None,
+                      interval: float) -> tuple[str, dict]:
+    """One `repro top` frame from a metrics-op JSON payload.
+
+    Returns the frame text plus the counters carried to the next frame so
+    rates (qps) can be computed as deltas.
+    """
+    stats = payload.get("stats", {})
+    metrics = payload.get("metrics", {})
+    counters = metrics.get("counters", {})
+    admission = stats.get("admission", {})
+    lines = []
+    uptime = stats.get("uptime_s", 0.0)
+    lines.append(
+        f"repro top — up {uptime:8.1f}s   sessions {stats.get('sessions', 0)}"
+        f"   active {stats.get('active', 0)}/{stats.get('workers', 0)} workers"
+        + ("   DRAINING" if stats.get("draining") else "")
+    )
+    per_class = admission.get("per_class", {})
+    depth_text = "  ".join(
+        f"{cls}={per_class.get(cls, 0)}"
+        for cls in ("interactive", "normal", "batch")
+    )
+    lines.append(
+        f"queue   depth {admission.get('depth', 0)} "
+        f"(peak {admission.get('peak_depth', 0)}, "
+        f"bound {admission.get('max_depth', 0)})   {depth_text}   "
+        f"rejected {admission.get('rejected', 0)}"
+    )
+    total = counters.get("queries_total", 0)
+    carried = {"queries_total": total}
+    if previous is not None and interval > 0:
+        qps = max(0, total - previous.get("queries_total", 0)) / interval
+        lines.append(f"queries {total} total   {qps:8.1f} qps")
+    else:
+        lines.append(f"queries {total} total")
+    hist = (metrics.get("histograms") or {}).get("query_wall_ms")
+    if hist and hist.get("count"):
+        bounds, counts = hist.get("bounds", []), hist.get("counts", [])
+
+        def pct(q: float) -> float:
+            target, seen = q * hist["count"], 0
+            for i, c in enumerate(counts):
+                seen += c
+                if seen >= target:
+                    return bounds[i] if i < len(bounds) else float("inf")
+            return float("inf")
+
+        lines.append(
+            f"latency p50<={pct(0.5):g} ms  p90<={pct(0.9):g} ms  "
+            f"p99<={pct(0.99):g} ms  (n={hist['count']})"
+        )
+    strategies = sorted(
+        (name.rsplit(".", 1)[1], value)
+        for name, value in counters.items()
+        if name.startswith("queries.strategy.")
+    )
+    if strategies:
+        lines.append(
+            "mix     " + "  ".join(f"{s}={v}" for s, v in strategies)
+        )
+    slow = metrics.get("slow_queries") or []
+    if slow:
+        lines.append(f"slow queries (last {min(len(slow), 5)}):")
+        for entry in slow[-5:]:
+            wait = entry.get("queue_wait_ms", 0.0)
+            flag = "  DEGRADED" if entry.get("degraded") else ""
+            lines.append(
+                f"  {entry.get('wall_ms', 0.0):9.2f} ms "
+                f"(queue {wait:7.2f} ms) {entry.get('strategy', '?'):>13} "
+                f"{str(entry.get('query', ''))[:60]}{flag}"
+            )
+    return "\n".join(lines), carried
+
+
+def cmd_top(args) -> int:
+    """`repro top`: live refreshing view of a running server."""
+    import asyncio
+
+    async def run() -> int:
+        from .serving import AsyncQueryClient
+
+        try:
+            client = await AsyncQueryClient.connect(args.host, args.port)
+        except (ConnectionError, OSError) as exc:
+            print(
+                f"error: cannot reach {args.host}:{args.port}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+        previous: dict | None = None
+        frames = 0
+        try:
+            while True:
+                response = await client.metrics(format="json")
+                if not response.get("ok"):
+                    print(
+                        f"error: {response.get('error')}", file=sys.stderr
+                    )
+                    return 1
+                frame, previous = _render_top_frame(
+                    response, previous, args.interval
+                )
+                if not args.no_clear and sys.stdout.isatty():
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame)
+                frames += 1
+                if args.count is not None and frames >= args.count:
+                    return 0
+                await asyncio.sleep(args.interval)
+        finally:
+            await client.close()
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        return 0
 
 
 def cmd_calibrate(_args) -> int:
@@ -479,6 +753,10 @@ _COMMANDS = {
     "scrub": cmd_scrub,
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
+    "workload": cmd_workload,
+    "replay": cmd_replay,
+    "metrics": cmd_metrics,
+    "top": cmd_top,
     "calibrate": cmd_calibrate,
     "reproduce": cmd_reproduce,
 }

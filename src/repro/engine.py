@@ -82,6 +82,10 @@ class QueryResult:
     #: Names of the partitions skipped by degraded execution, in partition
     #: order; empty for a complete result.
     skipped_partitions: tuple = ()
+    #: Rows in the scanned projection before predicates — the denominator
+    #: the query log's observed selectivity is computed against. 0 when
+    #: unknown (joins).
+    base_rows: int = 0
 
     @property
     def trace(self) -> list | None:
@@ -199,6 +203,9 @@ class Database:
         fault_injector: FaultInjector | None = None,
         retry: RetryPolicy | None = None,
         on_error: str = "fail",
+        query_log: "QueryLog | bool | None" = True,
+        qlog_sample: float = 1.0,
+        qlog_max_bytes: int | None = None,
     ):
         """Open (or create) a database.
 
@@ -246,6 +253,19 @@ class Database:
                 ``"degrade"`` quarantines a failing partition for the
                 session and completes queries over the survivors, marking
                 results ``degraded=True`` with ``skipped_partitions``.
+            query_log: the workload flight recorder. ``True`` (default)
+                opens a :class:`~repro.qlog.QueryLog` under
+                ``<root>/_qlog/`` recording every finished query (outcome,
+                strategy, counters, selectivity, result hash — see
+                :mod:`repro.qlog`); pass an existing ``QueryLog`` to share
+                one, or ``False``/``None`` to disable. Recorder overhead
+                is gated <5% warm by ``benchmarks/bench_qlog_overhead.py``.
+            qlog_sample: fraction of queries the recorder keeps (only used
+                when ``query_log is True``); deterministic counter-based
+                sampling.
+            qlog_max_bytes: segment rotation threshold for the recorder
+                (only used when ``query_log is True``); ``None`` uses
+                :data:`repro.qlog.DEFAULT_SEGMENT_BYTES`.
         """
         if on_error not in ("fail", "degrade"):
             raise ValueError(
@@ -289,6 +309,20 @@ class Database:
                 "fault_injector", fault_injector.metrics
             )
         self.metrics.register_collector("quarantine", self.quarantine.metrics)
+        if query_log is True:
+            from .qlog import DEFAULT_SEGMENT_BYTES, QueryLog
+
+            self.qlog: "QueryLog | None" = QueryLog(
+                self.catalog.root / "_qlog",
+                sample=qlog_sample,
+                max_segment_bytes=qlog_max_bytes or DEFAULT_SEGMENT_BYTES,
+            )
+        elif query_log:
+            self.qlog = query_log
+        else:
+            self.qlog = None
+        if self.qlog is not None:
+            self.metrics.register_collector("query_log", self.qlog.metrics)
         # Pending inserts are WAL-backed under the database root so they
         # survive process restarts until the tuple mover folds them in.
         self.delta = DeltaStore(wal_directory=self.catalog.root / "_wal")
@@ -321,6 +355,9 @@ class Database:
                 "fault_injector", self.pool.injector.metrics
             )
         self.metrics.unregister_collector("quarantine", self.quarantine.metrics)
+        if self.qlog is not None:
+            self.metrics.unregister_collector("query_log", self.qlog.metrics)
+            self.qlog.close()
 
     def __enter__(self) -> "Database":
         return self
@@ -420,6 +457,8 @@ class Database:
         timeout_ms: float | None = None,
         cancel: CancelToken | None = None,
         queue_wait_ms: float | None = None,
+        origin: str = "embedded",
+        session: str | None = None,
     ) -> QueryResult:
         """Execute a logical query.
 
@@ -441,6 +480,9 @@ class Database:
                 admission queue before execution; recorded as
                 ``stats.extra["queue_wait_ms"]`` and a ``QUEUE`` span so
                 end-to-end latency decomposes into wait + execute.
+            origin / session: provenance stamped on the query-log record —
+                ``"embedded"`` (default) for in-process callers,
+                ``"served"`` plus the session id for the serving layer.
         """
         if timeout_ms is not None:
             if cancel is None:
@@ -449,18 +491,31 @@ class Database:
                 cancel.timeout_ms = timeout_ms
         if cold:
             self.clear_cache()
-        if isinstance(query, JoinQuery):
-            result = self._run_join(
-                query, strategy, trace=trace, cancel=cancel,
-                queue_wait_ms=queue_wait_ms,
-            )
-        elif isinstance(query, SelectQuery):
-            result = self._run_select(
-                query, strategy, trace=trace, cancel=cancel,
-                queue_wait_ms=queue_wait_ms,
-            )
-        else:
+        if not isinstance(query, (SelectQuery, JoinQuery)):
             raise PlanError(f"cannot execute {type(query).__name__}")
+        dispatch_start = time.perf_counter()
+        try:
+            if isinstance(query, JoinQuery):
+                result = self._run_join(
+                    query, strategy, trace=trace, cancel=cancel,
+                    queue_wait_ms=queue_wait_ms,
+                )
+            else:
+                result = self._run_select(
+                    query, strategy, trace=trace, cancel=cancel,
+                    queue_wait_ms=queue_wait_ms,
+                )
+        except BaseException as exc:
+            if self.qlog is not None:
+                self.qlog.observe_error(
+                    query,
+                    exc,
+                    wall_ms=(time.perf_counter() - dispatch_start) * 1000.0,
+                    queue_wait_ms=queue_wait_ms,
+                    origin=origin,
+                    session=session,
+                )
+            raise
         self.metrics.observe_query(
             strategy=result.strategy,
             wall_ms=result.wall_ms,
@@ -469,7 +524,11 @@ class Database:
             description=repr(query)[:200],
             encodings=getattr(query, "encoding_map", {}).values(),
             slow_threshold_ms=self.slow_query_ms,
+            queue_wait_ms=result.queue_wait_ms,
+            degraded=result.degraded,
         )
+        if self.qlog is not None:
+            self.qlog.observe(query, result, origin=origin, session=session)
         extra = result.stats.extra
         if "partitions_total" in extra:
             self.metrics.counter("partitions_scanned_total").inc(
@@ -539,6 +598,7 @@ class Database:
             spans=self._finish_trace(ctx, resolved.value),
             degraded=bool(ctx.skipped_partitions),
             skipped_partitions=tuple(ctx.skipped_partitions),
+            base_rows=projection.n_rows,
         )
 
     def _select_with_delta(

@@ -200,6 +200,21 @@ class LatencyHistogram:
                 "p99_ms": round(self.percentile(0.99), 4),
             }
 
+    def export(self) -> dict:
+        """Raw bucket dump for exposition: bounds, per-bucket counts, totals.
+
+        Unlike :meth:`snapshot` (a human-facing summary), this carries the
+        full bucket array so :func:`repro.exposition.render_prometheus` can
+        emit a standard cumulative ``_bucket{le=...}`` series.
+        """
+        with self._lock:
+            return {
+                "bounds": list(self.BOUNDS),
+                "counts": list(self.counts),
+                "count": self.count,
+                "sum_ms": self.sum_ms,
+            }
+
 
 class SlowQueryLog:
     """Ring buffer of the most recent queries over a latency threshold."""
@@ -303,8 +318,16 @@ class MetricsRegistry:
         description: str = "",
         encodings=(),
         slow_threshold_ms: float | None = None,
+        queue_wait_ms: float = 0.0,
+        degraded: bool = False,
     ) -> None:
-        """Record one finished query into counters, histograms, slow log."""
+        """Record one finished query into counters, histograms, slow log.
+
+        ``queue_wait_ms`` and ``degraded`` travel onto the slow-query ring
+        buffer entry, so a slow served query shows how much of its latency
+        was admission-queue wait and whether it completed over a partial
+        (quarantine-degraded) partition set.
+        """
         self.counter("queries_total").inc()
         self.counter(f"queries.strategy.{strategy}").inc()
         for encoding in encodings:
@@ -320,6 +343,8 @@ class MetricsRegistry:
             simulated_ms=round(simulated_ms, 3),
             rows=rows,
             query=description,
+            queue_wait_ms=round(queue_wait_ms, 3),
+            degraded=degraded,
         )
         if logged:
             self.counter("queries_slow_total").inc()
@@ -332,6 +357,28 @@ class MetricsRegistry:
             counters = {name: c.value for name, c in self._counters.items()}
             histograms = {
                 name: h.snapshot() for name, h in self._histograms.items()
+            }
+            collectors = list(self._collectors.items())
+        out = {
+            "counters": counters,
+            "histograms": histograms,
+            "slow_queries": self.slow_queries.entries(),
+        }
+        for name, fn in collectors:
+            try:
+                out[name] = fn()
+            except Exception as exc:  # collector outlived its owner
+                out[name] = {"error": f"{type(exc).__name__}: {exc}"}
+        return out
+
+    def export(self) -> dict:
+        """Exposition-grade dump: like :meth:`snapshot` but with raw
+        histogram buckets (via :meth:`LatencyHistogram.export`) so the
+        Prometheus renderer can emit cumulative ``_bucket`` series."""
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            histograms = {
+                name: h.export() for name, h in self._histograms.items()
             }
             collectors = list(self._collectors.items())
         out = {

@@ -70,6 +70,11 @@ class AsyncQueryClient:
     async def stats(self) -> dict:
         return await self.request({"op": "stats"})
 
+    async def metrics(self, format: str = "prometheus") -> dict:
+        """Fetch the server's metrics exposition (``prometheus`` text or
+        ``json`` registry export + live serving stats)."""
+        return await self.request({"op": "metrics", "format": format})
+
     async def ping(self) -> dict:
         return await self.request({"op": "ping"})
 

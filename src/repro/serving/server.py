@@ -244,14 +244,46 @@ class QueryServer:
             return {"ok": True, "session": session.describe()}
         if op == "stats":
             return {"ok": True, "stats": self.stats()}
+        if op == "metrics":
+            return self._metrics_response(request)
         if op in ("sql", "query", "explain"):
             return await self._submit(session, op, request)
         return error_response(ValueError(f"unknown op {op!r}"))
+
+    def _metrics_response(self, request: dict) -> dict:
+        """The ``metrics`` op: registry exposition plus live serving stats.
+
+        ``format: "prometheus"`` (default) returns the text exposition
+        format ready to write to a scrape endpoint; ``format: "json"``
+        returns the raw registry export and server stats for programmatic
+        consumers (``repro top``).
+        """
+        fmt = request.get("format", "prometheus")
+        export = self.metrics.export()
+        if fmt == "json":
+            return {"ok": True, "metrics": export, "stats": self.stats()}
+        if fmt != "prometheus":
+            return error_response(
+                ValueError(f"unknown metrics format {fmt!r}")
+            )
+        from ..exposition import render_prometheus
+
+        return {
+            "ok": True,
+            "content_type": "text/plain; version=0.0.4",
+            "text": render_prometheus(export, serving=self.stats()),
+        }
 
     async def _submit(self, session: Session, op: str, request: dict) -> dict:
         """Bind, admit, and await one executable request."""
         if self._draining:
             session.rejected += 1
+            qlog = getattr(self.db, "qlog", None)
+            if qlog is not None:
+                # Pre-bind rejection: no query object yet, log outcome only.
+                qlog.observe_rejected(
+                    None, "draining", session=str(session.session_id)
+                )
             return error_response(
                 ReproError("server is draining"), rejected=True
             )
@@ -287,6 +319,13 @@ class QueryServer:
             if not self.admission.offer(work, priority=knobs["priority"]):
                 session.rejected += 1
                 self.metrics.counter("serving.rejected_total").inc()
+                qlog = getattr(self.db, "qlog", None)
+                if qlog is not None:
+                    qlog.observe_rejected(
+                        query,
+                        f"queue full (depth {self.admission.max_depth})",
+                        session=str(session.session_id),
+                    )
                 session.record(op, ok=False, detail="rejected (queue full)")
                 return error_response(
                     ReproError(
@@ -377,6 +416,8 @@ class QueryServer:
                     trace=bool(knobs["trace"]),
                     cancel=work.token,
                     queue_wait_ms=wait_ms,
+                    origin="served",
+                    session=str(work.session.session_id),
                 )
                 rows = (
                     result.decoded_rows() if knobs["decoded"]
@@ -428,6 +469,11 @@ class QueryServer:
             "draining": self._draining,
             "admission": self.admission.metrics(),
             "started_at": self.started_at,
+            "uptime_s": (
+                round(time.time() - self.started_at, 3)
+                if self.started_at
+                else 0.0
+            ),
         }
 
 

@@ -43,6 +43,17 @@ purely physical, so every served execution must reproduce the serial rows
 bit for bit. Engine values are integers end to end, so the JSON round trip
 is exact and "bit-identical" is a meaningful comparison over the wire.
 
+A sixth, **replay** axis (:func:`run_replay_differential`) exercises the
+workload flight recorder end to end: a mixed capture phase runs every
+generated query under all four strategies embedded *and* through the query
+server from concurrent sessions (so both origins land in the log), then the
+captured log is read back (torn-tail-tolerant reader) and re-executed
+against a second Database over the same stored files with
+``repro.workload.replay_log(check=True)`` — every replayed result hash must
+be bit-identical to the hash captured at record time. Recording, log
+round-tripping and replay are all purely observational, so a single
+mismatch means either the recorder or the engine drifted.
+
 Known physical limitation: LM-pipelined cannot position-filter bit-vector
 encoded columns (``UnsupportedOperationError``); such runs are recorded as
 skips, not failures.
@@ -430,6 +441,103 @@ def run_concurrent_differential(
         if rows != references[qi]:
             report.record_mismatch(queries[qi], strategy, references[qi], rows)
     return report
+
+
+def run_replay_differential(
+    db,
+    replay_db,
+    n_queries: int = 40,
+    seed: int = 0,
+    projection: str = "lineitem",
+    strategies=STRATEGIES,
+    served_strategies=(Strategy.EM_PARALLEL, Strategy.LM_PARALLEL),
+    sessions: int = 8,
+    workers: int = 4,
+    max_queue: int = 256,
+):
+    """The replay axis: capture a mixed workload, replay it bit-identically.
+
+    *db* must have its query log enabled; *replay_db* must serve the same
+    stored files with its own recorder **off** (so replaying never appends
+    to the log under test). The capture phase runs every generated query
+    under every strategy embedded, then replays the whole query list
+    through a :class:`~repro.serving.ServerThread` over *db* from
+    *sessions* concurrent connections under ``served_strategies`` (both
+    support every encoding, so the served phase never skips) — giving the
+    log a genuinely mixed embedded/served, multi-strategy, multi-encoding
+    shape. The log is then read back and re-executed on *replay_db* with
+    ``check=True``.
+
+    Returns ``(records, replay_report)`` — the records as read back from
+    disk and the :class:`repro.workload.ReplayReport` whose ``ok`` the
+    caller asserts.
+    """
+    import asyncio
+
+    from repro.qlog import read_query_log
+    from repro.serving import AsyncQueryClient, ServerThread, query_to_dict
+    from repro.serving.admission import PRIORITIES
+    from repro.workload import replay_log
+
+    assert db.qlog is not None, "capture database must have the recorder on"
+    assert replay_db.qlog is None, "replay database must not re-log"
+
+    gen = QueryGenerator(db, projection=projection, seed=seed)
+    queries = [gen.next_query() for _ in range(n_queries)]
+    for query in queries:
+        for strategy in strategies:
+            try:
+                db.query(query, strategy=strategy)
+            except UnsupportedOperationError:
+                # Recorded by the qlog as an error-outcome row; the replay
+                # phase skips non-ok records.
+                continue
+
+    qdicts = [query_to_dict(q) for q in queries]
+    work = [
+        (qi, strategy.value)
+        for qi in range(n_queries)
+        for strategy in served_strategies
+    ]
+    random.Random(seed).shuffle(work)
+
+    async def _session(si: int, host: str, port: int, cursor: list) -> None:
+        client = await AsyncQueryClient.connect(host, port)
+        try:
+            while True:
+                if cursor[0] >= len(work):
+                    return
+                item = cursor[0]
+                cursor[0] += 1
+                qi, strategy = work[item]
+                response = await client.request(
+                    {
+                        "op": "query",
+                        "query": qdicts[qi],
+                        "strategy": strategy,
+                        "priority": PRIORITIES[si % len(PRIORITIES)],
+                    }
+                )
+                assert response.get("ok"), (
+                    f"served capture of query {qi} ({strategy}) failed: "
+                    f"{response}"
+                )
+        finally:
+            await client.close()
+
+    async def _drive(host: str, port: int) -> None:
+        cursor = [0]
+        await asyncio.gather(
+            *(_session(si, host, port, cursor) for si in range(sessions))
+        )
+
+    with ServerThread(db, workers=workers, max_queue=max_queue) as server:
+        asyncio.run(_drive(server.host, server.port))
+
+    db.qlog.flush()  # drain the background writer before reading back
+    records = read_query_log(db.qlog.directory)
+    report = replay_log(replay_db, records, check=True)
+    return records, report
 
 
 def run_fault_differential(
