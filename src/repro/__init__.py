@@ -63,7 +63,14 @@ from .faults import (
 )
 from .scrub import ScrubIssue, ScrubReport, scrub_catalog
 from .metrics import REGISTRY, MetricsRegistry, QueryStats
-from .model import PAPER_CONSTANTS, ModelConstants, calibrate_constants
+from .model import (
+    PAPER_CONSTANTS,
+    CalibrationReport,
+    ModelConstants,
+    calibrate_constants,
+    recalibrate_from_log,
+)
+from .advisor import AdvisorAction, AdvisorPlan, advise, apply_plan
 from .observe import Span, SpanTracer
 from .operators.aggregate import AggSpec
 from .planner import (
@@ -108,6 +115,12 @@ __all__ = [
     "ModelConstants",
     "PAPER_CONSTANTS",
     "calibrate_constants",
+    "CalibrationReport",
+    "recalibrate_from_log",
+    "AdvisorAction",
+    "AdvisorPlan",
+    "advise",
+    "apply_plan",
     "ColumnSchema",
     "ColumnType",
     "INT8",

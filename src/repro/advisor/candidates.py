@@ -1,0 +1,185 @@
+"""Candidate physical designs distilled from a workload summary.
+
+The generator reads the advisor-grade :class:`~repro.workload.
+WorkloadSummary` — per-template counts, example queries, predicate and
+column-touch statistics — and proposes projection builds: for each hot
+predicate column that no existing candidate of its table is sorted on,
+a projection sorted by that column, covering exactly the columns the
+predicated templates touch, with encodings and a partition count chosen
+from the column's statistics. Scoring (and the decision to recommend
+anything at all) happens in :mod:`repro.advisor.plan` via what-if costing;
+this module only enumerates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CatalogError
+
+#: Expected sorted-run length above which the sort column also stores an
+#: RLE representation (runs shorter than this decode slower than they
+#: save).
+_RLE_RUN_THRESHOLD = 2.0
+
+#: Sorted rows above which a range-predicated sort column is worth
+#: range-partitioning (below it, zone maps cannot prune enough blocks to
+#: pay for the fan-out).
+_PARTITION_MIN_ROWS = 100_000
+
+_RANGE_OPS = ("<", "<=", ">", ">=")
+
+
+@dataclass
+class CandidateDesign:
+    """One enumerable build: a projection that does not exist yet."""
+
+    name: str
+    anchor: str
+    columns: tuple
+    sort_keys: tuple
+    encodings: dict = field(default_factory=dict)
+    partitions: int = 1
+    #: Workload weight (ok-query count) behind the sort column's
+    #: predicates — the enumeration order, not the score.
+    weight: int = 0
+    reason: str = ""
+
+
+def _anchor_of(catalog, table: str) -> str | None:
+    """Resolve a query's projection field to its logical table name."""
+    if table in catalog:
+        proj = catalog.get(table)
+        return proj.anchor or proj.name
+    if catalog.has(table):
+        return table
+    return None
+
+
+def _template_weight(template) -> int:
+    return template.outcomes.get("ok", 0) + template.outcomes.get(
+        "degraded", 0
+    )
+
+
+def _existing_sort_columns(catalog, anchor: str) -> set:
+    """Primary sort keys already served by some candidate of *anchor*."""
+    out = set()
+    for proj in catalog.candidates(anchor):
+        if proj.sort_keys:
+            out.add(proj.sort_keys[0])
+    return out
+
+
+def _unpartitioned_source(catalog, anchor: str, columns):
+    """A real projection the build can read its rows (and stats) from."""
+    needed = set(columns)
+    for proj in catalog.candidates(anchor):
+        if proj.is_partitioned:
+            continue
+        if needed <= set(proj.column_names):
+            return proj
+    return None
+
+
+def generate_candidates(
+    catalog, summary, max_candidates: int = 12
+) -> list[CandidateDesign]:
+    """Enumerate build candidates from observed predicate statistics."""
+    # (anchor, predicate column) -> accumulated evidence.
+    evidence: dict[tuple, dict] = {}
+    for template in summary.templates.values():
+        if template.kind != "select" or template.example_query is None:
+            continue
+        weight = _template_weight(template)
+        if weight == 0:
+            continue
+        qdict = template.example_query
+        anchor = _anchor_of(catalog, qdict.get("projection", ""))
+        if anchor is None:
+            continue
+        touched = set(qdict.get("select") or ())
+        touched.update(qdict.get("group_by") or ())
+        for agg in qdict.get("aggregates") or ():
+            if agg.get("column"):
+                touched.add(agg["column"])
+        pred_cols = []
+        ops = []
+        for pred in qdict.get("predicates") or ():
+            pred_cols.append(pred["column"])
+            ops.append("in" if "in" in pred else pred.get("op", "="))
+        touched.update(pred_cols)
+        for col, op in zip(pred_cols, ops):
+            entry = evidence.setdefault(
+                (anchor, col),
+                {"weight": 0, "columns": set(), "range_weight": 0},
+            )
+            entry["weight"] += weight
+            entry["columns"].update(touched)
+            if op in _RANGE_OPS:
+                entry["range_weight"] += weight
+
+    candidates = []
+    for (anchor, col), entry in evidence.items():
+        if col in _existing_sort_columns(catalog, anchor):
+            continue
+        columns = entry["columns"] | {col}
+        source = _unpartitioned_source(catalog, anchor, columns)
+        if source is None:
+            # Drop columns the anchor cannot serve from one projection
+            # (or that cannot be rebuilt at all) and retry with the core.
+            source = _unpartitioned_source(catalog, anchor, {col})
+            if source is None:
+                continue
+            columns = columns & set(source.column_names)
+        # float64 columns cannot be written back (Projection.create
+        # rejects them); leave them to the projections that have them.
+        columns = {
+            c
+            for c in columns
+            if source.schema(c).ctype.name != "float64"
+        }
+        if col not in columns:
+            continue
+        try:
+            histogram = source.physical_column(col).file().histogram
+        except CatalogError:
+            continue
+        n_rows = source.n_rows
+        distinct = (
+            histogram.n_distinct
+            if histogram is not None and histogram.n_values
+            else max(n_rows, 1)
+        )
+        run_length = n_rows / max(distinct, 1)
+        encodings = {
+            c: ("uncompressed",) for c in sorted(columns) if c != col
+        }
+        if run_length >= _RLE_RUN_THRESHOLD:
+            encodings[col] = ("rle", "uncompressed")
+        else:
+            encodings[col] = ("uncompressed",)
+        partitions = 1
+        if (
+            entry["range_weight"] > entry["weight"] / 2
+            and n_rows >= _PARTITION_MIN_ROWS
+        ):
+            partitions = 4
+        candidates.append(
+            CandidateDesign(
+                name=f"{anchor}_adv_{col}",
+                anchor=anchor,
+                columns=tuple(sorted(columns)),
+                sort_keys=(col,),
+                encodings=encodings,
+                partitions=partitions,
+                weight=entry["weight"],
+                reason=(
+                    f"{entry['weight']} ok queries predicate on "
+                    f"{col!r}, which no projection of {anchor!r} is "
+                    "sorted on"
+                ),
+            )
+        )
+    candidates.sort(key=lambda c: (-c.weight, c.name))
+    return candidates[:max_candidates]

@@ -10,7 +10,9 @@ Installed as the ``repro`` console script::
     repro scrub ./db --deep
     repro serve ./db --port 7379 --workers 4
     repro loadgen ./db --clients 8 --duration 4
+    repro advise ./db --apply
     repro calibrate
+    repro calibrate ./db --from-log
 """
 
 from __future__ import annotations
@@ -210,6 +212,39 @@ def build_parser() -> argparse.ArgumentParser:
     workload.add_argument(
         "--json", action="store_true", help="emit the summary as JSON"
     )
+    workload.add_argument(
+        "--db", default=None, metavar="PATH",
+        help="database root: also cost each template through the model "
+        "and report per-template predicted-vs-measured residuals",
+    )
+
+    advise = sub.add_parser(
+        "advise",
+        help="recommend physical design changes from the query log",
+    )
+    _add_db_argument(advise)
+    advise.add_argument(
+        "--log", default=None, metavar="PATH",
+        help="query-log directory or segment to read (default: the "
+        "database's own <db>/_qlog)",
+    )
+    advise.add_argument(
+        "--apply", action="store_true",
+        help="execute the plan: build/drop projections through the "
+        "catalog (previously logged results stay bit-identical)",
+    )
+    advise.add_argument(
+        "--top", type=int, default=3,
+        help="maximum projections to recommend building (default: 3)",
+    )
+    advise.add_argument(
+        "--recalibrate", action="store_true",
+        help="first re-fit the model constants from the same log "
+        "(calibrate --from-log) and score with the fitted constants",
+    )
+    advise.add_argument(
+        "--json", action="store_true", help="emit the plan as JSON"
+    )
 
     replay = sub.add_parser(
         "replay",
@@ -262,8 +297,25 @@ def build_parser() -> argparse.ArgumentParser:
         help="append frames instead of clearing the screen",
     )
 
-    sub.add_parser(
-        "calibrate", help="measure this machine's Table 2 model constants"
+    calibrate = sub.add_parser(
+        "calibrate",
+        help="measure this machine's Table 2 model constants, or re-fit "
+        "them from an observed query log with --from-log",
+    )
+    calibrate.add_argument(
+        "db", nargs="?", default=None,
+        help="database root (required with --from-log)",
+    )
+    calibrate.add_argument(
+        "--from-log", nargs="?", const="", default=None, metavar="PATH",
+        dest="from_log",
+        help="fit constants to a captured query log instead of "
+        "micro-benchmarking: bare --from-log reads the database's own "
+        "<db>/_qlog, --from-log PATH reads a directory or segment",
+    )
+    calibrate.add_argument(
+        "--json", action="store_true",
+        help="with --from-log, emit the calibration report as JSON",
     )
 
     reproduce = sub.add_parser(
@@ -536,11 +588,71 @@ def cmd_workload(args) -> int:
     from .workload import summarize_log
 
     records = read_query_log(args.log)
-    summary = summarize_log(records)
+    if args.db:
+        db = Database(args.db, query_log=False)
+        try:
+            summary = summarize_log(records, db=db)
+        finally:
+            db.close()
+    else:
+        summary = summarize_log(records)
     if args.json:
         print(json.dumps(summary.to_dict(top=args.top), indent=2))
     else:
         print(summary.render(top=args.top))
+    return 0
+
+
+def cmd_advise(args) -> int:
+    """`repro advise`: workload-adaptive physical design recommendations.
+
+    Reads the query log, scores candidate designs in what-if mode, prints
+    the ranked plan, and with --apply builds/drops the recommended
+    projections through the catalog. The advising database opens with its
+    own recorder off so advice never contaminates the log it reads.
+    """
+    import json
+
+    from .advisor import advise, apply_plan
+    from .model import recalibrate_from_log
+    from .qlog import read_query_log
+
+    db = Database(args.db, query_log=False)
+    try:
+        log_path = args.log or str(db.catalog.root / "_qlog")
+        records = list(read_query_log(log_path))
+        constants = None
+        calibration = None
+        if args.recalibrate:
+            calibration = recalibrate_from_log(db, records)
+            constants = calibration.constants
+        plan = advise(
+            db, records, constants=constants, max_builds=args.top
+        )
+        if args.json:
+            payload = plan.to_dict()
+            if calibration is not None:
+                payload["calibration"] = calibration.to_dict()
+            print(json.dumps(payload, indent=2))
+        else:
+            if calibration is not None:
+                fit = "fitted" if calibration.used_fitted else "baseline"
+                print(
+                    f"constants      {fit} "
+                    f"(mae {calibration.mae_fitted_ms:.3f} vs "
+                    f"{calibration.mae_baseline_ms:.3f} ms over "
+                    f"{calibration.n_records} records)"
+                )
+            print(plan.render())
+        if args.apply:
+            applied = apply_plan(db, plan)
+            if not args.json:
+                for name in applied:
+                    print(f"applied        {name}")
+                if not applied:
+                    print("applied        nothing (no actions)")
+    finally:
+        db.close()
     return 0
 
 
@@ -724,16 +836,45 @@ def cmd_top(args) -> int:
         return 0
 
 
-def cmd_calibrate(_args) -> int:
-    """`repro calibrate`: measure this machine's Table 2 constants."""
+def cmd_calibrate(args) -> int:
+    """`repro calibrate`: measure (or, with --from-log, fit) the constants.
+
+    Without --from-log: micro-benchmark this machine's Table 2 CPU
+    constants. With --from-log: least-squares-fit the constants to the
+    measured simulated times of an observed query log (see
+    :mod:`repro.model.recalibrate`); the fit is only adopted when its
+    trace MAE is no worse than the baseline constants'.
+    """
+    import json
+
     from .model import PAPER_CONSTANTS, calibrate_constants
 
-    measured = calibrate_constants()
-    paper = PAPER_CONSTANTS.as_dict()
-    mine = measured.as_dict()
-    print(f"{'constant':>10} {'paper':>12} {'this machine':>14}")
-    for key in ("BIC", "TICTUP", "TICCOL", "FC", "PF", "SEEK", "READ"):
-        print(f"{key:>10} {paper[key]:>12.4g} {mine[key]:>14.4g}")
+    if getattr(args, "from_log", None) is None:
+        measured = calibrate_constants()
+        paper = PAPER_CONSTANTS.as_dict()
+        mine = measured.as_dict()
+        print(f"{'constant':>10} {'paper':>12} {'this machine':>14}")
+        for key in ("BIC", "TICTUP", "TICCOL", "FC", "PF", "SEEK", "READ"):
+            print(f"{key:>10} {paper[key]:>12.4g} {mine[key]:>14.4g}")
+        return 0
+
+    from .model import recalibrate_from_log
+    from .qlog import read_query_log
+
+    if not args.db:
+        print("error: calibrate --from-log needs a database root",
+              file=sys.stderr)
+        return 2
+    db = Database(args.db, query_log=False)
+    try:
+        log_path = args.from_log or str(db.catalog.root / "_qlog")
+        report = recalibrate_from_log(db, read_query_log(log_path))
+    finally:
+        db.close()
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
     return 0
 
 
@@ -754,6 +895,7 @@ _COMMANDS = {
     "serve": cmd_serve,
     "loadgen": cmd_loadgen,
     "workload": cmd_workload,
+    "advise": cmd_advise,
     "replay": cmd_replay,
     "metrics": cmd_metrics,
     "top": cmd_top,

@@ -86,6 +86,11 @@ class QueryResult:
     #: the query log's observed selectivity is computed against. 0 when
     #: unknown (joins).
     base_rows: int = 0
+    #: Name of the projection the planner resolved the query to (selects
+    #: only; None for joins). The query log records it so replay can pin
+    #: each query to the projection that produced its result hash even
+    #: after the advisor has changed the candidate set.
+    projection: str | None = None
 
     @property
     def trace(self) -> list | None:
@@ -459,6 +464,7 @@ class Database:
         queue_wait_ms: float | None = None,
         origin: str = "embedded",
         session: str | None = None,
+        pin_projection: str | None = None,
     ) -> QueryResult:
         """Execute a logical query.
 
@@ -483,6 +489,14 @@ class Database:
             origin / session: provenance stamped on the query-log record —
                 ``"embedded"`` (default) for in-process callers,
                 ``"served"`` plus the session id for the serving layer.
+            pin_projection: execute a select against exactly this stored
+                projection, bypassing model-driven candidate routing.
+                Replay uses it to pin each record to the projection that
+                produced its recorded result hash, which stays correct
+                even after the design advisor has grown the candidate
+                set. Selects only; raises
+                :class:`~repro.errors.CatalogError` when the projection
+                does not exist or does not cover the query.
         """
         if timeout_ms is not None:
             if cancel is None:
@@ -504,6 +518,7 @@ class Database:
                 result = self._run_select(
                     query, strategy, trace=trace, cancel=cancel,
                     queue_wait_ms=queue_wait_ms,
+                    pin_projection=pin_projection,
                 )
         except BaseException as exc:
             if self.qlog is not None:
@@ -566,10 +581,20 @@ class Database:
         trace: bool = False,
         cancel: CancelToken | None = None,
         queue_wait_ms: float | None = None,
+        pin_projection: str | None = None,
     ) -> QueryResult:
-        projection = resolve_projection(
-            self.catalog, query, constants=self.constants
-        )
+        if pin_projection is not None:
+            projection = self.catalog.get(pin_projection)
+            missing = set(query.all_columns) - set(projection.column_names)
+            if missing:
+                raise CatalogError(
+                    f"pinned projection {pin_projection!r} does not cover "
+                    f"columns {sorted(missing)}"
+                )
+        else:
+            projection = resolve_projection(
+                self.catalog, query, constants=self.constants
+            )
         resolved = self._resolve_strategy(projection, query, strategy)
         ctx = self._context(trace=trace, cancel=cancel)
         self._note_queue_wait(ctx, queue_wait_ms)
@@ -599,6 +624,7 @@ class Database:
             degraded=bool(ctx.skipped_partitions),
             skipped_partitions=tuple(ctx.skipped_partitions),
             base_rows=projection.n_rows,
+            projection=projection.name,
         )
 
     def _select_with_delta(

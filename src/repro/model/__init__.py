@@ -11,6 +11,8 @@ Three layers:
   Figure 10 validation and by the strategy-choosing optimizer.
 * :mod:`~repro.model.morph` — per-block stay-compressed vs. morph decisions
   for the compressed-execution kernels, in the same microsecond currency.
+* :mod:`~repro.model.recalibrate` — least-squares re-fit of the Table-2
+  constants from observed query-log traces (``repro calibrate --from-log``).
 """
 
 from .constants import ModelConstants, PAPER_CONSTANTS
@@ -29,6 +31,7 @@ from .cost import (
 )
 from .predictor import predict_join, predict_select
 from .calibrate import calibrate_constants
+from .recalibrate import CalibrationReport, recalibrate_from_log
 from .morph import (
     MorphDecision,
     dictionary_scan_decision,
@@ -54,6 +57,8 @@ __all__ = [
     "predict_select",
     "predict_join",
     "calibrate_constants",
+    "CalibrationReport",
+    "recalibrate_from_log",
     "MorphDecision",
     "rle_scan_decision",
     "dictionary_scan_decision",

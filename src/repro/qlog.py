@@ -519,8 +519,16 @@ class QueryLog:
                     "values_scanned": stats.values_scanned,
                     "tuples_constructed": stats.tuples_constructed,
                     "positions_intersected": stats.positions_intersected,
+                    "block_iterations": stats.block_iterations,
+                    "column_iterations": stats.column_iterations,
+                    "tuple_iterations": stats.tuple_iterations,
+                    "function_calls": stats.function_calls,
+                    "simulated_io_us": round(stats.simulated_io_us, 3),
                 },
             )
+            resolved = getattr(result, "projection", None)
+            if resolved is not None:
+                record["projection"] = resolved
             if result.base_rows and not getattr(query, "aggregates", ()):
                 record["selectivity"] = round(
                     result.n_rows / result.base_rows, 6

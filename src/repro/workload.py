@@ -18,6 +18,7 @@ still agree.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 
 from .errors import ReproError, UnsupportedOperationError
@@ -54,6 +55,23 @@ class TemplateStats:
     queue_wait_ms_total: float = 0.0
     selectivities: list = field(default_factory=list)
     wall_samples: list = field(default_factory=list)
+    #: Resolved-projection mix (``{projection_name: count}``) over records
+    #: that carried one — what the advisor's drop analysis keys on.
+    projections: dict = field(default_factory=dict)
+    #: Full query dict of the first ok/degraded observation: a concrete
+    #: representative the advisor can re-cost against hypothetical designs.
+    example_query: dict | None = None
+    #: Model-residual accounting, populated when :func:`summarize_log` is
+    #: given a database to predict against. ``residual_ms_total`` is
+    #: ``predicted - measured`` summed over exactly the records counted in
+    #: ``predicted_count``; ``measured_on_predicted_ms_total`` is the
+    #: measured simulated-ms sum over that same subset, so
+    #: ``residual_ms_total == predicted_ms_total -
+    #: measured_on_predicted_ms_total`` holds identically.
+    predicted_count: int = 0
+    predicted_ms_total: float = 0.0
+    measured_on_predicted_ms_total: float = 0.0
+    residual_ms_total: float = 0.0
 
     def percentiles(self) -> dict:
         ordered = sorted(self.wall_samples)
@@ -82,6 +100,12 @@ class TemplateStats:
             d["selectivity_avg"] = round(
                 sum(self.selectivities) / len(self.selectivities), 6
             )
+        if self.projections:
+            d["projections"] = dict(self.projections)
+        if self.predicted_count:
+            d["predicted_count"] = self.predicted_count
+            d["predicted_ms_total"] = round(self.predicted_ms_total, 3)
+            d["residual_ms_total"] = round(self.residual_ms_total, 3)
         return d
 
 
@@ -201,8 +225,67 @@ class WorkloadSummary:
         return "\n".join(lines)
 
 
-def summarize_log(records) -> WorkloadSummary:
-    """Fold an iterable of query-log records into a :class:`WorkloadSummary`."""
+def _record_prediction(db, record, constants, cache):
+    """Model-predicted simulated ms for one select record (None when n/a).
+
+    The prediction pins the record's resolved strategy and, when recorded,
+    its resolved projection — the same physical plan the measurement came
+    from — so ``predicted - measured`` is a true model residual rather
+    than a plan-choice delta. Keyed by (fingerprint, strategy, projection,
+    literal query) so repeated templates cost one prediction each.
+    """
+    if record.get("kind") != "select":
+        return None
+    qdict = record.get("query")
+    strategy_name = record.get("strategy")
+    if not qdict or not strategy_name:
+        return None
+    proj_name = record.get("projection") or qdict.get("projection")
+    key = (
+        record.get("fingerprint", "-"),
+        strategy_name,
+        proj_name,
+        json.dumps(qdict, sort_keys=True),
+    )
+    if key in cache:
+        return cache[key]
+    from .model import predict_select
+    from .planner.projection_choice import resolve_projection
+    from .planner.strategies import Strategy
+    from .serving.protocol import query_from_dict
+
+    try:
+        query = query_from_dict(qdict)
+        strategy = Strategy.from_name(strategy_name)
+        if proj_name is not None and proj_name in db.catalog:
+            projection = db.catalog.get(proj_name)
+        else:
+            projection = resolve_projection(
+                db.catalog, query, constants=constants
+            )
+        value = predict_select(
+            projection, query, strategy, constants=constants
+        ).total_ms
+    except (ReproError, ValueError):
+        value = None
+    cache[key] = value
+    return value
+
+
+def summarize_log(records, db=None, constants=None) -> WorkloadSummary:
+    """Fold an iterable of query-log records into a :class:`WorkloadSummary`.
+
+    When *db* is given, each ok/degraded select record is additionally
+    costed through the analytical model (against the recorded projection
+    and strategy, with *constants* defaulting to ``db.constants``) and the
+    per-template predicted-vs-measured simulated-ms residuals are
+    accumulated on :class:`TemplateStats` — the advisor's recalibration
+    and what-if inputs. Without *db* the summary is purely observational,
+    as before.
+    """
+    if db is not None and constants is None:
+        constants = db.constants
+    prediction_cache: dict = {}
     summary = WorkloadSummary()
     for record in records:
         summary.total += 1
@@ -254,9 +337,28 @@ def summarize_log(records) -> WorkloadSummary:
         tmpl.queue_wait_ms_total += wait
         if "selectivity" in record:
             tmpl.selectivities.append(float(record["selectivity"]))
+        proj = record.get("projection")
+        if proj:
+            tmpl.projections[proj] = tmpl.projections.get(proj, 0) + 1
         if outcome in ("ok", "degraded"):
             tmpl.wall_samples.append(wall)
             summary.wall_samples.append(wall)
+            if tmpl.example_query is None and record.get("query"):
+                tmpl.example_query = record["query"]
+            if db is not None:
+                predicted = _record_prediction(
+                    db, record, constants, prediction_cache
+                )
+                if predicted is not None:
+                    tmpl.predicted_count += 1
+                    tmpl.predicted_ms_total += predicted
+                    tmpl.measured_on_predicted_ms_total += sim
+                    # Derived, not independently accumulated, so the
+                    # documented identity holds bit-exactly.
+                    tmpl.residual_ms_total = (
+                        tmpl.predicted_ms_total
+                        - tmpl.measured_on_predicted_ms_total
+                    )
     return summary
 
 
@@ -353,8 +455,11 @@ def replay_log(db, records, check: bool = True,
     """Re-execute a captured query log against *db*.
 
     Only ``ok`` records carrying the full query dict are replayed, each
-    pinned to its recorded resolved strategy so tuple order reproduces
-    exactly. With ``check=True`` every record must also carry a
+    pinned to its recorded resolved strategy — and, for selects whose
+    record carries the resolved projection name and the target catalog
+    still has it, to that projection — so tuple order reproduces exactly
+    even after the advisor has built or dropped anchored projections.
+    With ``check=True`` every record must also carry a
     ``result_hash`` (captured with ``QueryLog(result_hashes=True)``, the
     default) and the replayed result's hash is compared bit for bit.
 
@@ -379,8 +484,28 @@ def replay_log(db, records, check: bool = True,
         if limit is not None and report.replayed >= limit:
             report.skipped += 1
             continue
+        qdict = record["query"]
+        # The planner resolved this select to a concrete projection at
+        # record time; pin the replay to the same physical source so tuple
+        # order (and therefore the hash) reproduces even if the advisor
+        # has since changed the candidate set. Records without the field
+        # (older logs) fall back to live routing, as before.
+        pinned = record.get("projection")
+        if not (
+            pinned
+            and qdict.get("kind", "select") == "select"
+            and pinned in db.catalog
+        ):
+            pinned = None
+        elif pinned not in {
+            p.name for p in db.catalog.candidates(qdict.get("projection", ""))
+        }:
+            # The record's projection no longer serves the query's table
+            # (renamed, re-anchored, or the record was hand-edited): fall
+            # back to live routing so errors surface normally.
+            pinned = None
         try:
-            query = query_from_dict(record["query"])
+            query = query_from_dict(qdict)
         except ReproError as exc:
             report.errors += 1
             report.error_detail.append({
@@ -391,7 +516,8 @@ def replay_log(db, records, check: bool = True,
             continue
         strategy = record.get("strategy", "auto")
         try:
-            result = db.query(query, strategy=strategy)
+            result = db.query(query, strategy=strategy,
+                              pin_projection=pinned)
         except UnsupportedOperationError:
             report.skipped += 1
             continue

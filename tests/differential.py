@@ -54,6 +54,18 @@ be bit-identical to the hash captured at record time. Recording, log
 round-tripping and replay are all purely observational, so a single
 mismatch means either the recorder or the engine drifted.
 
+A seventh, **advisor** axis (:func:`run_advisor_differential`) proves
+``repro advise --apply`` is purely physical: a seeded workload is captured
+into the query log (every generated query under all four strategies
+embedded), the database root is cloned, the advisor's recommended plan is
+applied to the clone through the real catalog machinery (building and
+dropping projections), and then every captured ok record is replayed on the
+clone **both** before and after the apply with
+``repro.workload.replay_log(check=True)`` — the post-apply replay also runs
+under a different ``parallel_scans`` setting to stack a second physical
+knob on top. Every replayed result hash must equal the hash captured at
+record time, so a single mismatch means the advisor changed an answer.
+
 Known physical limitation: LM-pipelined cannot position-filter bit-vector
 encoded columns (``UnsupportedOperationError``); such runs are recorded as
 skips, not failures.
@@ -538,6 +550,81 @@ def run_replay_differential(
     records = read_query_log(db.qlog.directory)
     report = replay_log(replay_db, records, check=True)
     return records, report
+
+
+def run_advisor_differential(
+    db,
+    clone_root,
+    n_queries: int = 60,
+    seed: int = 0,
+    projection: str = "lineitem",
+    strategies=STRATEGIES,
+    parallel_scans: int = 2,
+):
+    """The advisor axis: ``advise --apply`` never changes an answer.
+
+    *db* must have its query log enabled. The capture phase runs every
+    generated query under every strategy embedded (UnsupportedOperationError
+    runs are recorded by the qlog as error rows and skipped by replay, like
+    the replay axis). The stored files — data *and* captured log — are then
+    cloned to *clone_root*, and on the clone:
+
+    1. every ok record replays hash-identically **before** any advice
+       (guards against the clone itself perturbing anything);
+    2. :func:`repro.advisor.advise` ranks a plan from the captured records
+       and :func:`repro.advisor.apply_plan` executes it through the real
+       catalog (projection builds, merges, drops);
+    3. every ok record replays hash-identically **after** the apply, on a
+       freshly opened Database with ``parallel_scans`` set differently —
+       projection routing is pinned per record, so new projections and a
+       different scan parallelism must both be invisible in the hashes.
+
+    Returns ``(records, plan, report_pre, report_post)``; the caller
+    asserts both reports' ``ok`` and that the plan actually built
+    something (otherwise the axis silently degrades to the replay axis).
+    """
+    import shutil
+
+    from repro.advisor import advise, apply_plan
+    from repro.qlog import read_query_log
+    from repro.workload import replay_log
+
+    from repro import Database, MetricsRegistry
+
+    assert db.qlog is not None, "capture database must have the recorder on"
+
+    gen = QueryGenerator(db, projection=projection, seed=seed)
+    for _ in range(n_queries):
+        query = gen.next_query()
+        for strategy in strategies:
+            try:
+                db.query(query, strategy=strategy)
+            except UnsupportedOperationError:
+                continue
+
+    db.qlog.flush()
+    records = read_query_log(db.qlog.directory)
+    shutil.copytree(db.catalog.root, clone_root)
+
+    pre_db = Database(clone_root, metrics=MetricsRegistry(), query_log=False)
+    try:
+        report_pre = replay_log(pre_db, records, check=True)
+        plan = advise(pre_db, records)
+        apply_plan(pre_db, plan)
+    finally:
+        pre_db.close()
+
+    post_db = Database(
+        clone_root,
+        metrics=MetricsRegistry(),
+        query_log=False,
+        parallel_scans=parallel_scans,
+    )
+    try:
+        report_post = replay_log(post_db, records, check=True)
+    finally:
+        post_db.close()
+    return records, plan, report_pre, report_post
 
 
 def run_fault_differential(

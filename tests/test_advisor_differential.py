@@ -1,0 +1,85 @@
+"""The advisor differential axis: ``advise --apply`` never changes answers.
+
+One database captures a seeded workload (every generated query under all
+four materialization strategies) into its query log; the stored files are
+cloned; and the clone replays every ok record hash-identically *before*
+the advisor runs, then again *after* ``apply_plan`` has built and dropped
+projections through the real catalog — the post-apply replay additionally
+runs under a different ``parallel_scans`` setting. Physical design changes
+recommended by the advisor must be invisible in every result hash. This is
+the acceptance gate behind ``repro advise --apply``.
+
+The seed is fixed (overridable via ``REPRO_DIFF_SEED``); CI's
+``advisor-matrix`` job runs this file under two different seeds.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import Database, MetricsRegistry, load_tpch
+
+from .differential import run_advisor_differential
+from .test_differential_strategies import KERNEL_LINENUM_ENCODINGS
+
+SEED = int(os.environ.get("REPRO_DIFF_SEED", "20260806"))
+
+STRATEGY_NAMES = {"em-pipelined", "em-parallel", "lm-pipelined", "lm-parallel"}
+
+
+@pytest.fixture(scope="module")
+def advisor_outcome(tmp_path_factory):
+    """Capture with one database, advise+replay on a clone of its files."""
+    root = tmp_path_factory.mktemp("diff_advisor")
+    capture_db = Database(root / "db", metrics=MetricsRegistry())
+    load_tpch(
+        capture_db.catalog,
+        scale=0.002,
+        seed=7,
+        linenum_encodings=KERNEL_LINENUM_ENCODINGS,
+    )
+    try:
+        records, plan, report_pre, report_post = run_advisor_differential(
+            capture_db, root / "clone", n_queries=60, seed=SEED,
+            parallel_scans=2,
+        )
+        yield records, plan, report_pre, report_post
+    finally:
+        capture_db.close()
+
+
+class TestAdvisorDifferential:
+    def test_pre_apply_replay_is_bit_identical(self, advisor_outcome):
+        _records, _plan, report_pre, _report_post = advisor_outcome
+        assert report_pre.ok, report_pre.render()
+        assert report_pre.mismatched == 0
+        assert report_pre.errors == 0
+
+    def test_post_apply_replay_is_bit_identical(self, advisor_outcome):
+        _records, _plan, _report_pre, report_post = advisor_outcome
+        assert report_post.ok, report_post.render()
+        assert report_post.mismatched == 0
+        assert report_post.errors == 0
+        assert report_post.matched == report_post.replayed
+
+    def test_workload_is_large_and_mixed(self, advisor_outcome):
+        _records, _plan, report_pre, report_post = advisor_outcome
+        # Acceptance floor: >= 200 queries replayed hash-clean on both sides.
+        assert report_pre.replayed >= 200
+        assert report_post.replayed == report_pre.replayed
+        assert set(report_post.strategies) == STRATEGY_NAMES
+
+    def test_advice_actually_changed_the_design(self, advisor_outcome):
+        _records, plan, _report_pre, _report_post = advisor_outcome
+        builds = [a for a in plan.actions if a.kind == "build"]
+        # Without at least one build the axis degrades to the replay axis.
+        assert builds, plan.render()
+        assert plan.predicted_improvement >= 1.0
+
+    def test_every_ok_record_carries_its_projection(self, advisor_outcome):
+        records, _plan, _report_pre, _report_post = advisor_outcome
+        ok = [r for r in records if r["outcome"] == "ok"]
+        assert ok
+        assert all(r.get("projection") for r in ok)

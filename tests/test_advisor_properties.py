@@ -1,0 +1,147 @@
+"""Property-based tests for the physical design advisor.
+
+Hypothesis draws arbitrary subsets of a captured workload trace and checks
+the advisor's invariants hold on every one of them:
+
+* the what-if layer is *transparent*: with no hypothetical adds or drops,
+  it prices every logged query exactly like the real catalog, and a no-op
+  plan (``max_builds=0``) scores the current design — predicted equals
+  baseline;
+* recommendations are *monotone*: a projection is only ever credited to a
+  template it makes cheaper (every recorded per-template delta is
+  positive), and the plan's predicted total never exceeds its baseline;
+* recalibration is *safe*: on any subset of the trace — including empty
+  and single-record ones — the refitted constants stay positive and
+  finite, and the fit is only adopted when its MAE beats the shipped
+  defaults on that same subset.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import Database, MetricsRegistry, load_tpch
+from repro.advisor import WhatIfCatalog, advise, cheapest_plan_ms
+from repro.errors import CatalogError, UnsupportedOperationError
+from repro.model.recalibrate import FITTED_FIELDS, recalibrate_from_log
+from repro.qlog import read_query_log
+from repro.serving import query_from_dict
+
+from .differential import STRATEGIES, QueryGenerator
+
+N_QUERIES = 12
+
+
+@pytest.fixture(scope="module")
+def captured(tmp_path_factory):
+    """A small database plus a captured multi-strategy trace of it."""
+    root = tmp_path_factory.mktemp("advisor_props")
+    db = Database(root / "db", metrics=MetricsRegistry())
+    load_tpch(db.catalog, scale=0.002, seed=7)
+    gen = QueryGenerator(db, projection="lineitem", seed=11)
+    for _ in range(N_QUERIES):
+        query = gen.next_query()
+        for strategy in STRATEGIES:
+            try:
+                db.query(query, strategy=strategy)
+            except UnsupportedOperationError:
+                continue
+    db.qlog.flush()
+    records = read_query_log(db.qlog.directory)
+    yield db, records
+    db.close()
+
+
+def _subsets(records):
+    return st.sets(
+        st.integers(min_value=0, max_value=len(records) - 1), max_size=40
+    ).map(lambda idx: [records[i] for i in sorted(idx)])
+
+
+@given(data=st.data())
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_whatif_catalog_is_transparent(captured, data):
+    """No adds, no drops: what-if pricing == real-catalog pricing."""
+    db, records = captured
+    subset = data.draw(_subsets(records))
+    whatif = WhatIfCatalog(db.catalog)
+    for record in subset:
+        if record["outcome"] != "ok":
+            continue
+        qdict = record.get("query") or {}
+        if qdict.get("kind", "select") != "select":
+            continue
+        query = query_from_dict(qdict)
+        try:
+            real = cheapest_plan_ms(db.catalog, query, db.constants)
+        except CatalogError:
+            continue
+        hypo = cheapest_plan_ms(whatif, query, db.constants)
+        assert hypo == real
+
+
+@given(data=st.data())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_noop_plan_scores_the_current_design(captured, data):
+    """A plan that builds nothing predicts exactly the baseline."""
+    db, records = captured
+    subset = data.draw(_subsets(records))
+    plan = advise(db, subset, max_builds=0)
+    assert not [a for a in plan.actions if a.kind == "build"]
+    assert plan.predicted_ms == plan.baseline_ms
+
+
+@given(data=st.data())
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_recommendations_never_regress_a_credited_template(captured, data):
+    """Every per-template delta is positive; total never exceeds baseline."""
+    db, records = captured
+    subset = data.draw(_subsets(records))
+    plan = advise(db, subset)
+    assert plan.predicted_ms <= plan.baseline_ms + 1e-9
+    for action in plan.actions:
+        if action.kind != "build":
+            continue
+        assert action.predicted_delta_ms > 0
+        for fingerprint, delta in action.templates.items():
+            assert delta > 0, (action.name, fingerprint)
+
+
+@given(data=st.data())
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+def test_recalibration_is_safe_on_any_subset(captured, data):
+    """Positive, finite constants and an MAE guard on arbitrary subsets."""
+    db, records = captured
+    subset = data.draw(_subsets(records))
+    report = recalibrate_from_log(db, subset)
+    constants = report.constants
+    for field in FITTED_FIELDS:
+        value = getattr(constants, field)
+        assert math.isfinite(value), field
+        assert value > 0, field
+    assert isinstance(constants.pf, int) and constants.pf >= 1
+    if report.used_fitted:
+        assert report.mae_fitted_ms <= report.mae_baseline_ms
+    if report.n_records == 0:
+        # Nothing usable: the shipped defaults come back untouched.
+        assert constants == report.baseline

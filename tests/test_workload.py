@@ -213,6 +213,41 @@ class TestReplay:
         assert report.skipped == 7
         assert report.ok
 
+    def test_residuals_accumulate_consistently(self, captured):
+        """Model-residual accounting is exact against QueryStats totals."""
+        records, db = captured
+        summary = summarize_log(records, db=db)
+        templates = list(summary.templates.values())
+        assert any(t.predicted_count for t in templates)
+        for t in templates:
+            # The defining identity, exact (no rounding in the fields).
+            assert t.residual_ms_total == (
+                t.predicted_ms_total - t.measured_on_predicted_ms_total
+            )
+            # Every record here is an ok select with its projection
+            # recorded, so the predicted subset is the whole template and
+            # its measured side equals the QueryStats-derived total.
+            assert t.predicted_count == t.count
+            assert t.measured_on_predicted_ms_total == t.simulated_ms_total
+        assert sum(t.simulated_ms_total for t in templates) == pytest.approx(
+            summary.simulated_ms_total
+        )
+        assert sum(t.residual_ms_total for t in templates) == pytest.approx(
+            sum(t.predicted_ms_total for t in templates)
+            - summary.simulated_ms_total
+        )
+        d = summary.to_dict()
+        top = d["top_templates"][0]
+        assert "predicted_count" in top and "residual_ms_total" in top
+
+    def test_residuals_require_a_database(self, captured):
+        records, _db = captured
+        summary = summarize_log(records)
+        assert all(
+            t.predicted_count == 0 and t.residual_ms_total == 0.0
+            for t in summary.templates.values()
+        )
+
     def test_unknown_projection_counts_as_error(self, captured):
         records, replay_db = captured
         bad = dict(records[0])
