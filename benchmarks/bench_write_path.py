@@ -1,0 +1,161 @@
+"""Write-path overhead: disabled crash hooks + fsync must be cheap warm.
+
+The crash-consistent write path threads two pieces of machinery through
+every mutation: the :class:`~repro.faults.CrashInjector` boundary hooks
+(one ``is None`` test per write/fsync/rename when no injector is
+installed) and WAL fsyncs under the default ``durability="fsync"`` knob.
+The contract is that a database opened without an injector pays almost
+nothing for the hooks, and that fsync durability — whose real cost is
+charged to the *simulated* disk clock — stays cheap in wall-clock terms
+on the warm path.
+
+The benchmark runs an identical seeded insert/update/delete/merge
+workload through three engine configurations over freshly cloned stores:
+
+* ``baseline`` — ``durability="flush"``, no injector: the floor;
+* ``fsync``    — the default knob, no injector;
+* ``hooked``   — fsync plus ``CrashInjector([], seed=0)``: every boundary
+  consults an empty schedule and matches nothing.
+
+For each it records cold (first pass, includes the merge's projection
+rebuild) and the *summed* warm milliseconds of N identical delta-store
+passes (insert/update/delete, no merge — each pass runs the same offsets
+in every config, so the cost growth from accumulating pending rows
+cancels in the ratio), then asserts the **warm** hooked/baseline ratio
+stays under the 10% acceptance bar. Cold ratios land in the JSON
+artifact (``benchmarks/results/BENCH_write_path.json``) for
+trend-watching but are not asserted — they are dominated by real
+file-system work.
+"""
+
+from __future__ import annotations
+
+import shutil
+import time
+
+import pytest
+
+from repro import Database, MetricsRegistry, Predicate
+from repro.faults import CrashInjector
+
+from .harness import record_json
+
+WARM_REPEATS = 7
+
+#: Acceptance bar: disabled crash hooks + fsync cost < 10% warm wall-clock.
+OVERHEAD_LIMIT = 1.10
+
+#: Rows per insert batch in the warm loop.
+BATCH = 64
+
+
+def _rows(offset: int):
+    from datetime import date
+
+    return [
+        {
+            "shipdate": date(1999, 1, 1),
+            "linenum": (offset + i) % 7 + 1,
+            "quantity": (offset + i) % 50 + 1,
+            "returnflag": "A",
+        }
+        for i in range(BATCH)
+    ]
+
+
+def _write_pass(db: Database, offset: int) -> None:
+    """One warm unit: a batch insert, an update, a delete (no merge)."""
+    db.insert("lineitem", _rows(offset))
+    db.update(
+        "lineitem",
+        (Predicate("quantity", "=", offset % 50 + 1),),
+        {"quantity": 50},
+    )
+    db.delete("lineitem", (Predicate("linenum", "=", offset % 7 + 1),))
+
+
+def _measure(root, kwargs) -> dict:
+    with Database(root, metrics=MetricsRegistry(), **kwargs) as db:
+        t0 = time.perf_counter()
+        _write_pass(db, 0)
+        db.merge("lineitem")
+        cold_ms = (time.perf_counter() - t0) * 1000.0
+        warm_ms = 0.0
+        for i in range(WARM_REPEATS):
+            t0 = time.perf_counter()
+            _write_pass(db, i + 1)
+            warm_ms += (time.perf_counter() - t0) * 1000.0
+        moved = db.merge("lineitem")
+        fsyncs = db.disk.total_fsyncs
+    return {
+        "cold_wall_ms": cold_ms,
+        "warm_wall_ms": warm_ms,
+        "moved": moved,
+        "simulated_fsyncs": fsyncs,
+    }
+
+
+@pytest.fixture(scope="module")
+def write_table(bench_db, tmp_path_factory):
+    source = bench_db.catalog.root
+    configs = {
+        "baseline": dict(durability="flush"),
+        "fsync": dict(),
+        "hooked": dict(crash_injector=CrashInjector([], seed=0)),
+    }
+    table = {}
+    for name, kwargs in configs.items():
+        root = tmp_path_factory.mktemp("write_path") / name
+        shutil.copytree(source, root)
+        table[name] = _measure(root, kwargs)
+    return table
+
+
+def test_write_configs_identical_effects(write_table):
+    """Durability knob and empty hooks change no logical outcome."""
+    moved = {name: cell["moved"] for name, cell in write_table.items()}
+    assert len(set(moved.values())) == 1, moved
+    # The staged-commit fsyncs are unconditional (atomicity is not a
+    # knob); only the per-append WAL fsyncs follow the durability mode.
+    assert (
+        write_table["baseline"]["simulated_fsyncs"]
+        < write_table["fsync"]["simulated_fsyncs"]
+    )
+    assert (
+        write_table["hooked"]["simulated_fsyncs"]
+        == write_table["fsync"]["simulated_fsyncs"]
+    )
+
+
+def test_write_path_overhead(write_table):
+    """Warm write cost of hooks + fsync stays under the 10% bar."""
+    ratio = (
+        write_table["hooked"]["warm_wall_ms"]
+        / write_table["baseline"]["warm_wall_ms"]
+    )
+    record_json(
+        "BENCH_write_path",
+        {
+            "warm_repeats": WARM_REPEATS,
+            "batch": BATCH,
+            "limit": OVERHEAD_LIMIT,
+            "warm_overhead_ratio": round(ratio, 4),
+            "cold_overhead_ratio": round(
+                write_table["hooked"]["cold_wall_ms"]
+                / write_table["baseline"]["cold_wall_ms"],
+                4,
+            ),
+            "configs": {
+                name: {
+                    "cold_wall_ms": round(cell["cold_wall_ms"], 3),
+                    "warm_wall_ms": round(cell["warm_wall_ms"], 3),
+                    "simulated_fsyncs": cell["simulated_fsyncs"],
+                }
+                for name, cell in write_table.items()
+            },
+        },
+    )
+    assert ratio < OVERHEAD_LIMIT, (
+        f"write-path warm overhead {ratio:.3f}x exceeds "
+        f"{OVERHEAD_LIMIT:.2f}x"
+    )

@@ -316,12 +316,21 @@ def apply_plan(db, plan: AdvisorPlan) -> list[str]:
     """Execute *plan* against *db*; returns the action names applied.
 
     Builds read their rows from a covering stored projection of the
-    anchor (pending inserts are merged first) and register through
-    ``Catalog.create_projection``; an already-existing name is skipped,
-    so applying a plan twice is a no-op. Existing projections are never
-    rewritten — only added or (for drop actions) removed — which, with
-    replay's projection pinning, keeps every previously logged result
-    bit-identical.
+    anchor (pending inserts, updates, and deletes are merged first, so a
+    new projection is born with the write set already folded in) and
+    register through ``Catalog.create_projection``; an already-existing
+    name is skipped, so applying a plan twice is a no-op. Existing
+    projections are never rewritten — only added or (for drop actions)
+    removed — which, with replay's projection pinning, keeps every
+    previously logged result bit-identical.
+
+    Every step here is crash-consistent: merges and creates go through the
+    catalog's staged-commit protocol (build under ``tmp-*``, fsync, commit
+    by manifest replace), and drops commit the manifest before deleting
+    files. A crash mid-apply therefore leaves a database that is some
+    prefix of the plan — each completed action fully durable, the
+    interrupted one invisible — and re-running ``apply_plan`` finishes the
+    remainder.
     """
     applied = []
     for action in plan.actions:

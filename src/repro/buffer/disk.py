@@ -21,14 +21,18 @@ class DiskModel:
         seek_us: cost of one head movement (Table 2 SEEK).
         read_us: cost of transferring one 64 KB block (Table 2 READ).
         prefetch_blocks: the model's PF — consecutive blocks fetched per seek.
+        fsync_us: cost of one durable flush (WAL append, staged-commit
+            fsync); a seek plus device cache flush on 2006 hardware.
     """
 
     seek_us: float = 2500.0
     read_us: float = 1000.0
     prefetch_blocks: int = 1
+    fsync_us: float = 3000.0
 
     total_seeks: int = field(default=0, init=False)
     total_reads: int = field(default=0, init=False)
+    total_fsyncs: int = field(default=0, init=False)
 
     @classmethod
     def hdd_2006(cls, prefetch_blocks: int = 1) -> "DiskModel":
@@ -58,10 +62,19 @@ class DiskModel:
             stats.disk_seeks += 1
             stats.simulated_io_us += self.seek_us
 
+    def charge_fsync(self) -> None:
+        """Charge one durable flush to the simulated clock (write path)."""
+        self.total_fsyncs += 1
+
     def reset(self) -> None:
         self.total_seeks = 0
         self.total_reads = 0
+        self.total_fsyncs = 0
 
     @property
     def simulated_us(self) -> float:
-        return self.total_seeks * self.seek_us + self.total_reads * self.read_us
+        return (
+            self.total_seeks * self.seek_us
+            + self.total_reads * self.read_us
+            + self.total_fsyncs * self.fsync_us
+        )

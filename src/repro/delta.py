@@ -1,25 +1,47 @@
-"""The writable store: inserts, merge-on-read, and the tuple mover.
+"""The writable store: inserts, updates, deletes, and the tuple mover.
 
 C-Store pairs its read-optimized store (RS — the sorted, compressed
 projections everything else in this library implements) with a small
-writable store (WS) holding recent inserts, plus a "tuple mover" that
+writable store (WS) holding recent changes, plus a "tuple mover" that
 periodically folds WS into RS. This module reproduces that architecture at
 the scale this library needs:
 
-* :class:`DeltaStore` — an in-memory WS keyed by logical table: rows are
-  validated against the table's schemas and buffered column-wise.
-* query-time merge — `Database.query` transparently folds pending rows into
-  selection and aggregation results (see :func:`delta_select` /
-  :func:`merge_aggregates`); joins require a merge first, as C-Store's early
-  releases did.
+* :class:`DeltaStore` — an in-memory WS keyed by logical table: pending
+  *inserted* rows buffered column-wise, plus a multiset of *deleted* stored
+  rows (the delete-bitmap analogue for a store whose projections are
+  rebuilt, not patched, by the mover). Updates are delete+insert in one
+  atomic WAL record.
+* query-time merge — `Database.query` transparently folds pending changes
+  into selection and aggregation results (see :func:`delta_select` /
+  :func:`merge_aggregates`); joins require a merge first, as C-Store's
+  early releases did.
 * :meth:`Database.merge` — the tuple mover: rebuilds every projection of a
-  table from stored + pending rows (re-sorting, re-encoding, re-indexing),
-  then clears the WS.
+  table from (stored − deleted) + pending rows (re-sorting, re-encoding,
+  re-indexing), publishes all the rebuilds in one atomic manifest commit,
+  and only then truncates the WAL.
+
+WAL format: one JSON line per record. A plain object is a single inserted
+row (already schema-encoded), unchanged since the WAL was introduced;
+``{"_op": "delete", ...}`` / ``{"_op": "update", ...}`` records carry the
+full matched rows so recovery can replay them without consulting the read
+store. Recovery tolerates a torn final line (that record was never
+acknowledged) and honours the catalog's ``wal_applied`` marker: records a
+committed merge already folded into the read store are discarded, which is
+what makes a crash between manifest commit and WAL truncation harmless.
+
+Durability: with ``durability="fsync"`` (the default) every append is
+fsynced — one fsync per accepted batch, charged to the simulated disk
+clock; ``"flush"`` restores the old buffered behaviour for callers that
+prefer speed over crash-durability of the last few writes.
 """
 
 from __future__ import annotations
 
+import json
+import logging
+import os
 from dataclasses import replace
+from pathlib import Path
 
 import numpy as np
 
@@ -27,22 +49,40 @@ from .errors import CatalogError, ExecutionError
 from .operators.aggregate import AggSpec, factorize_groups
 from .operators.tuples import TupleSet
 from .planner.logical import SelectQuery
+from .storage.atomic import fsync_dir
+
+#: Accepted values of the ``Database(durability=...)`` knob.
+DURABILITY_MODES = ("fsync", "flush")
 
 
 class DeltaStore:
-    """Writable store: pending rows per logical table, with an optional WAL.
+    """Writable store: pending changes per logical table, with a WAL.
 
-    When constructed with a directory, every accepted insert is appended to a
-    per-table write-ahead log (one JSON line per row, already
-    schema-encoded) before it becomes visible, and pending rows are recovered
-    from the logs on startup. The tuple mover truncates a table's log after
-    folding its rows into the read store.
+    When constructed with a directory, every accepted change is appended to
+    a per-table write-ahead log before it becomes visible, and pending
+    changes are recovered from the logs on startup. The tuple mover
+    truncates a table's log only after the catalog has committed the merged
+    projections (see :meth:`mark_applied`).
     """
 
-    def __init__(self, wal_directory=None):
-        from pathlib import Path
-
+    def __init__(self, wal_directory=None, catalog=None, disk=None,
+                 durability: str = "fsync", crash=None):
+        if durability not in DURABILITY_MODES:
+            raise ValueError(
+                f"durability must be one of {DURABILITY_MODES}, "
+                f"got {durability!r}"
+            )
         self._rows: dict[str, list[dict]] = {}
+        #: Multiset of stored rows deleted ahead of the next merge, as full
+        #: encoded row dicts (captured at delete time so every projection —
+        #: whatever column subset it carries — can subtract them).
+        self._deleted: dict[str, list[dict]] = {}
+        #: WAL record-line count per table (the merge marker's unit).
+        self._records: dict[str, int] = {}
+        self._catalog = catalog
+        self._disk = disk
+        self._durability = durability
+        self._crash = crash
         self._wal_dir = Path(wal_directory) if wal_directory else None
         if self._wal_dir is not None:
             self._wal_dir.mkdir(parents=True, exist_ok=True)
@@ -51,64 +91,139 @@ class DeltaStore:
     def _wal_path(self, table: str):
         return self._wal_dir / f"{table}.wal" if self._wal_dir else None
 
+    # ------------------------------------------------------------- recovery
+
     def _recover(self) -> None:
         """Replay per-table logs, tolerating a torn final line.
 
         A crash mid-append can leave the last JSON line incomplete; that
-        tail is skipped with a warning (the insert never returned, so the
-        row was never acknowledged) and every complete row is recovered. A
+        tail is skipped with a warning (the change never returned, so it
+        was never acknowledged) and every complete record is recovered. A
         malformed line anywhere *before* the tail is real corruption and
         still raises.
-        """
-        import json
-        import logging
 
+        If the catalog carries a ``wal_applied`` marker for a table, a
+        committed merge already folded that many records into the read
+        store but crashed before truncating the log: the applied prefix is
+        discarded, the log rewritten to the remainder, and the marker
+        cleared — after which a re-merge is a no-op instead of a
+        double-apply.
+        """
+        markers = dict(self._catalog.wal_applied) if self._catalog else {}
         for path in sorted(self._wal_dir.glob("*.wal")):
+            table = path.stem
             lines = []
             with open(path, encoding="utf-8") as f:
                 for line in f:
                     line = line.strip()
                     if line:
                         lines.append(line)
-            rows = []
+            records = []
             torn = False
             for i, line in enumerate(lines):
                 try:
-                    rows.append(json.loads(line))
+                    records.append(json.loads(line))
                 except json.JSONDecodeError as exc:
                     if i == len(lines) - 1:
                         torn = True
                         logging.getLogger(__name__).warning(
                             "%s: skipping torn final WAL line "
-                            "(%d complete rows recovered): %s",
-                            path, len(rows), exc,
+                            "(%d complete records recovered): %s",
+                            path, len(records), exc,
                         )
                         break
                     raise CatalogError(
                         f"{path}: corrupt WAL line {i + 1} of {len(lines)} "
                         f"(not the torn-tail case): {exc}"
                     ) from exc
-            if torn:
-                # Drop the torn bytes so later appends cannot land after a
-                # malformed line (which would read as mid-file corruption
-                # at the *next* recovery).
+            applied = min(markers.pop(table, 0), len(records))
+            live = records[applied:]
+            if (torn or applied) and not live:
+                # Nothing survives: the log is exactly the state a
+                # completed merge would have left, so finish its unlink.
+                path.unlink()
+            elif torn or applied:
+                # Drop the torn bytes (so later appends cannot land after
+                # a malformed line) and the already-merged prefix, keeping
+                # the surviving lines byte-identical.
                 with open(path, "w", encoding="utf-8") as f:
-                    for line in lines[:-1]:
+                    for line in lines[applied:len(records)]:
                         f.write(line + "\n")
                     f.flush()
-            if rows:
-                self._rows[path.stem] = rows
+            if applied and self._catalog is not None:
+                self._catalog.set_wal_applied(table, 0)
+            for record in live:
+                try:
+                    self._apply_record(table, record)
+                except CatalogError:
+                    raise
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CatalogError(
+                        f"{path}: malformed WAL record: {exc}"
+                    ) from exc
+            if live:
+                self._records[table] = len(live)
+        # A marker for a table whose WAL is already gone means the crash
+        # hit between the log unlink and the marker-clearing commit.
+        if self._catalog is not None:
+            for table in markers:
+                self._catalog.set_wal_applied(table, 0)
 
-    def _append_wal(self, table: str, encoded_rows: list[dict]) -> None:
+    def _apply_record(self, table: str, record: dict) -> None:
+        op = record.get("_op") if isinstance(record, dict) else None
+        if op is None:
+            # Legacy/plain record: one inserted row.
+            self._rows.setdefault(table, []).append(record)
+        elif op == "insert":
+            self._rows.setdefault(table, []).extend(record["rows"])
+        elif op in ("delete", "update"):
+            self._remove_pending(table, record.get("pending", []))
+            stored = record.get("stored", [])
+            if stored:
+                self._deleted.setdefault(table, []).extend(stored)
+            if op == "update":
+                self._rows.setdefault(table, []).extend(record["rows"])
+        else:
+            raise CatalogError(f"unknown WAL record op {op!r}")
+
+    def _remove_pending(self, table: str, targets: list[dict]) -> None:
+        rows = self._rows.get(table, [])
+        for target in targets:
+            try:
+                rows.remove(target)
+            except ValueError:
+                # The pending row is already gone (idempotent replay).
+                pass
+
+    # ---------------------------------------------------------------- write
+
+    def _append_records(self, table: str, records: list[dict]) -> None:
         path = self._wal_path(table)
-        if path is None:
-            return
-        import json
-
-        with open(path, "a", encoding="utf-8") as f:
-            for row in encoded_rows:
-                f.write(json.dumps(row) + "\n")
-            f.flush()
+        if path is not None:
+            payload = "".join(json.dumps(r) + "\n" for r in records)
+            if self._crash is not None:
+                self._crash.hook("wal.append", path)
+            with open(path, "a", encoding="utf-8") as f:
+                if self._crash is not None and self._crash.check(
+                    "wal.torn", str(path)
+                ):
+                    # The crash landed mid-append: an arbitrary prefix of
+                    # the payload reaches disk, its final line torn. The
+                    # change was never acknowledged; recovery drops the
+                    # torn tail.
+                    f.write(payload[: max(1, len(payload) // 2)])
+                    f.flush()
+                    os.fsync(f.fileno())
+                    raise self._crash.crash("wal.torn", str(path))
+                f.write(payload)
+                f.flush()
+                if self._durability == "fsync":
+                    if self._crash is not None:
+                        self._crash.hook("wal.fsync", path)
+                    os.fsync(f.fileno())
+                    if self._disk is not None:
+                        self._disk.charge_fsync()
+        self._records[table] = self._records.get(table, 0) + len(records)
 
     def insert(self, table: str, rows: list[dict], schemas: dict) -> int:
         """Validate and buffer *rows* (each a column->value dict).
@@ -134,15 +249,64 @@ class DeltaStore:
             encoded_rows.append(
                 {col: schemas[col].encode_value(row[col]) for col in row}
             )
-        self._append_wal(table, encoded_rows)
+        self._append_records(table, encoded_rows)
         self._rows.setdefault(table, []).extend(encoded_rows)
         return len(encoded_rows)
+
+    def delete(self, table: str, stored_rows: list[dict],
+               pending_rows: list[dict]) -> int:
+        """Log and apply one delete: *stored_rows* (full encoded rows
+        matched in the read store, subtracted at query time and dropped at
+        merge time) plus *pending_rows* (matches in this store, removed
+        immediately). One WAL record, so the delete is atomic."""
+        record = {
+            "_op": "delete", "stored": stored_rows, "pending": pending_rows,
+        }
+        self._append_records(table, [record])
+        self._apply_record(table, record)
+        return len(stored_rows) + len(pending_rows)
+
+    def update(self, table: str, stored_rows: list[dict],
+               pending_rows: list[dict], new_rows: list[dict]) -> int:
+        """Log and apply one update as delete+insert in a single record."""
+        record = {
+            "_op": "update",
+            "stored": stored_rows,
+            "pending": pending_rows,
+            "rows": new_rows,
+        }
+        self._append_records(table, [record])
+        self._apply_record(table, record)
+        return len(stored_rows) + len(pending_rows)
+
+    # ----------------------------------------------------------------- read
 
     def count(self, table: str) -> int:
         return len(self._rows.get(table, []))
 
+    def deleted_count(self, table: str) -> int:
+        """How many stored rows are pending deletion for *table*."""
+        return len(self._deleted.get(table, []))
+
+    def dirty(self, table: str) -> bool:
+        """True when *table* has any pending change (inserts or deletes)."""
+        return bool(self._rows.get(table)) or bool(self._deleted.get(table))
+
+    def rows(self, table: str) -> list[dict]:
+        """The pending inserted rows (copies; encoded values)."""
+        return [dict(r) for r in self._rows.get(table, [])]
+
+    def deleted_rows(self, table: str) -> list[dict]:
+        """The pending deleted stored rows (copies; encoded values)."""
+        return [dict(r) for r in self._deleted.get(table, [])]
+
+    def wal_records(self, table: str) -> int:
+        """WAL record lines currently logged for *table* (the merge
+        marker's unit — see :meth:`Catalog.set_wal_applied`)."""
+        return self._records.get(table, 0)
+
     def columns(self, table: str, schemas: dict) -> dict[str, np.ndarray]:
-        """Pending rows as column arrays (typed per schema)."""
+        """Pending inserted rows as column arrays (typed per schema)."""
         rows = self._rows.get(table, [])
         return {
             col: np.array(
@@ -151,14 +315,89 @@ class DeltaStore:
             for col, schema in schemas.items()
         }
 
-    def clear(self, table: str) -> None:
-        self._rows.pop(table, None)
+    def deleted_columns(
+        self, table: str, schemas: dict
+    ) -> dict[str, np.ndarray]:
+        """Pending deleted rows as column arrays (typed per schema)."""
+        rows = self._deleted.get(table, [])
+        return {
+            col: np.array(
+                [r[col] for r in rows], dtype=schema.ctype.numpy_dtype
+            )
+            for col, schema in schemas.items()
+        }
+
+    # ------------------------------------------------------------ lifecycle
+
+    def mark_applied(self, table: str) -> None:
+        """Truncate *table*'s WAL after the catalog committed its merge.
+
+        Called strictly after :meth:`Catalog.commit_merge`: the manifest
+        already both publishes the merged projections and records how many
+        WAL records they absorbed, so whether the crash hits before the
+        unlink, between unlink and marker clear, or never, recovery
+        converges on the same state.
+        """
         path = self._wal_path(table)
         if path is not None and path.exists():
+            if self._crash is not None:
+                self._crash.hook("wal.truncate", path)
             path.unlink()
+            fsync_dir(self._wal_dir, crash=self._crash, disk=self._disk)
+        self._rows.pop(table, None)
+        self._deleted.pop(table, None)
+        self._records.pop(table, None)
+        if self._catalog is not None:
+            self._catalog.set_wal_applied(table, 0)
+
+    def clear(self, table: str) -> None:
+        """Discard *table*'s pending changes and WAL (compat alias)."""
+        self.mark_applied(table)
 
     def tables(self) -> list[str]:
-        return sorted(t for t, rows in self._rows.items() if rows)
+        return sorted(
+            set(t for t, rows in self._rows.items() if rows)
+            | set(t for t, rows in self._deleted.items() if rows)
+        )
+
+
+def multiset_keep_mask(
+    stored: dict[str, np.ndarray],
+    deleted_rows: list[dict],
+    columns: list[str],
+) -> np.ndarray:
+    """Which stored rows survive subtracting *deleted_rows* as a multiset.
+
+    Restricted to *columns* (a projection may carry a subset of the table's
+    columns): each deleted row cancels at most one stored row with equal
+    values on those columns, duplicates cancelling one-for-one. Vectorized
+    via row codes: ``np.unique`` over the stacked stored+deleted matrix
+    yields per-row group codes, and within each code the first
+    ``count(deleted)`` stored occurrences are dropped.
+    """
+    cols = list(columns)
+    n = len(stored[cols[0]]) if cols else 0
+    if not deleted_rows or n == 0:
+        return np.ones(n, dtype=bool)
+    smat = np.stack([stored[c].astype(np.int64) for c in cols], axis=1)
+    dmat = np.array(
+        [[int(r[c]) for c in cols] for r in deleted_rows], dtype=np.int64
+    )
+    _, inverse = np.unique(
+        np.concatenate((smat, dmat)), axis=0, return_inverse=True
+    )
+    inverse = inverse.reshape(-1)  # 2.0 returned (n, 1) for axis=0 input
+    scodes, dcodes = inverse[:n], inverse[n:]
+    del_counts = np.bincount(dcodes, minlength=int(inverse.max()) + 1)
+    order = np.argsort(scodes, kind="stable")
+    sorted_codes = scodes[order]
+    boundary = np.concatenate(([True], sorted_codes[1:] != sorted_codes[:-1]))
+    starts = np.flatnonzero(boundary)
+    run_id = np.cumsum(boundary) - 1
+    occurrence = np.arange(n) - starts[run_id]
+    keep = np.empty(n, dtype=bool)
+    keep[order] = occurrence >= del_counts[sorted_codes]
+    return keep
 
 
 def expand_avg(specs: tuple[AggSpec, ...]) -> tuple[list[AggSpec], dict]:

@@ -32,12 +32,16 @@ from pathlib import Path
 from .buffer import BufferPool, DecodedBlockCache, DiskModel
 from .buffer.decoded import DEFAULT_DECODED_CAPACITY_BYTES
 from .cancel import CancelToken
+import numpy as np
+
 from .delta import (
     DeltaStore,
     delta_aggregate,
     delta_select,
+    expand_avg,
     internal_query,
     merge_aggregates,
+    multiset_keep_mask,
 )
 from .errors import CatalogError, ExecutionError, PlanError
 from .faults import FaultInjector, PartitionQuarantine, RetryPolicy
@@ -211,6 +215,8 @@ class Database:
         query_log: "QueryLog | bool | None" = True,
         qlog_sample: float = 1.0,
         qlog_max_bytes: int | None = None,
+        durability: str = "fsync",
+        crash_injector=None,
     ):
         """Open (or create) a database.
 
@@ -271,13 +277,31 @@ class Database:
             qlog_max_bytes: segment rotation threshold for the recorder
                 (only used when ``query_log is True``); ``None`` uses
                 :data:`repro.qlog.DEFAULT_SEGMENT_BYTES`.
+            durability: ``"fsync"`` (default) fsyncs every WAL append (one
+                fsync per accepted batch, charged to the simulated disk
+                clock) and every staged-commit boundary, so acknowledged
+                writes survive power loss; ``"flush"`` restores the
+                buffered pre-durability behaviour — the OS may lose the
+                last few acknowledged writes on a crash. See
+                ``docs/durability.md``.
+            crash_injector: optional :class:`~repro.faults.CrashInjector`
+                consulted at every write-path boundary (WAL append/fsync/
+                truncate, staging fsyncs, renames, the manifest commit) —
+                the test substrate for the crash differential. ``None``
+                (default) skips the hooks entirely.
         """
         if on_error not in ("fail", "degrade"):
             raise ValueError(
                 f"on_error must be 'fail' or 'degrade', got {on_error!r}"
             )
-        self.catalog = Catalog(root)
+        if durability not in ("fsync", "flush"):
+            raise ValueError(
+                f"durability must be 'fsync' or 'flush', got {durability!r}"
+            )
+        self.durability = durability
+        self.crash_injector = crash_injector
         self.disk = disk if disk is not None else DiskModel()
+        self.catalog = Catalog(root, crash=crash_injector, disk=self.disk)
         self.pool = BufferPool(
             pool_capacity_bytes,
             self.disk,
@@ -328,9 +352,16 @@ class Database:
             self.qlog = None
         if self.qlog is not None:
             self.metrics.register_collector("query_log", self.qlog.metrics)
-        # Pending inserts are WAL-backed under the database root so they
-        # survive process restarts until the tuple mover folds them in.
-        self.delta = DeltaStore(wal_directory=self.catalog.root / "_wal")
+        # Pending changes are WAL-backed under the database root so they
+        # survive process restarts until the tuple mover folds them in; the
+        # catalog's wal_applied markers make that fold crash-restartable.
+        self.delta = DeltaStore(
+            wal_directory=self.catalog.root / "_wal",
+            catalog=self.catalog,
+            disk=self.disk,
+            durability=durability,
+            crash=crash_injector,
+        )
 
     def projection(self, name: str) -> Projection:
         return self.catalog.get(name)
@@ -568,9 +599,9 @@ class Database:
         return result
 
     def _pending_table(self, *names) -> str | None:
-        """First of *names* with buffered inserts, if any."""
+        """First of *names* with buffered changes (inserts or deletes)."""
         for name in names:
-            if name and self.delta.count(name):
+            if name and self.delta.dirty(name):
                 return name
         return None
 
@@ -636,8 +667,12 @@ class Database:
 
         if any(s.func == "count_distinct" for s in query.aggregates):
             raise ExecutionError(
-                "count(distinct) cannot merge with pending inserts; call "
+                "count(distinct) cannot merge with pending writes; call "
                 "Database.merge() first"
+            )
+        if self.delta.deleted_count(table):
+            return self._select_with_deletes(
+                ctx, projection, query, resolved, table
             )
         rewritten, plan = internal_query(query)
         stored = execute_select(ctx, projection, rewritten, resolved)
@@ -672,6 +707,254 @@ class Database:
         ctx.stats.tuples_output = merged.n_tuples
         return _order_and_limit(ctx, merged, query)
 
+    def _select_with_deletes(
+        self, ctx, projection, query: SelectQuery, resolved, table: str
+    ):
+        """Merge-on-read under pending deletes: the row-level path.
+
+        Deleted rows still sit inside the stored projections, so stored
+        results must have the delete multiset subtracted *before* any
+        aggregation. The stored side runs the chosen strategy as a
+        row-returning query over the group/value columns (so all four
+        strategies stay exercised and bit-identical), the delete multiset
+        is subtracted row-for-row, pending survivors are appended, and
+        aggregation/HAVING/ORDER run over the merged rows.
+        """
+        from collections import Counter
+        from dataclasses import replace as _dc_replace
+
+        from .operators import TupleSet
+        from .planner.plans import _apply_having, _order_and_limit
+
+        if query.aggregates:
+            internal_specs, plan = expand_avg(query.aggregates)
+            value_cols = [s.column for s in internal_specs if s.column]
+            out_cols = list(
+                dict.fromkeys(list(query.group_columns) + value_cols)
+            )
+        else:
+            internal_specs, plan = [], {}
+            out_cols = list(query.select)
+        row_query = _dc_replace(
+            query,
+            select=tuple(out_cols),
+            aggregates=(),
+            group_by=None,
+            order_by=(),
+            limit=None,
+            having=(),
+        )
+        stored = execute_select(ctx, projection, row_query, resolved)
+        schemas = {
+            col: projection.schema(col) for col in row_query.all_columns
+        }
+        ghost_survivors = delta_select(
+            row_query, self.delta.deleted_columns(table, schemas)
+        )
+        pending_survivors = delta_select(
+            row_query, self.delta.columns(table, schemas)
+        )
+        n_ghost = (
+            len(next(iter(ghost_survivors.values())))
+            if ghost_survivors else 0
+        )
+        n_pending = (
+            len(next(iter(pending_survivors.values())))
+            if pending_survivors else 0
+        )
+        stored_rows = stored.select(out_cols).rows()
+        ctx.stats.tuple_iterations += len(stored_rows) + n_ghost + n_pending
+        ghosts: Counter = Counter()
+        for i in range(n_ghost):
+            ghosts[tuple(int(ghost_survivors[c][i]) for c in out_cols)] += 1
+        alive = []
+        for row in stored_rows:
+            key = tuple(int(v) for v in row)
+            if ghosts.get(key, 0):
+                ghosts[key] -= 1
+            else:
+                alive.append(key)
+        if sum(ghosts.values()):
+            raise ExecutionError(
+                f"delete multiset for {table!r} names rows the stored "
+                f"projection {projection.name!r} does not hold "
+                "(writable store out of sync with the read store)"
+            )
+        combined: dict = {}
+        for ci, col in enumerate(out_cols):
+            stored_side = np.array(
+                [row[ci] for row in alive], dtype=np.int64
+            )
+            pending_side = (
+                pending_survivors[col].astype(np.int64)
+                if n_pending
+                else np.array([], dtype=np.int64)
+            )
+            combined[col] = np.concatenate((stored_side, pending_side))
+        if query.aggregates:
+            partials = delta_aggregate(
+                internal_specs, list(query.group_columns), combined
+            )
+            finished: dict = {
+                g: partials.column(g) for g in query.group_columns
+            }
+            for output, how in plan.items():
+                if how[0] == "avg":
+                    sums = partials.column(how[1])
+                    counts = partials.column(how[2])
+                    finished[output] = sums // np.maximum(counts, 1)
+                else:
+                    finished[output] = partials.column(how[1])
+            merged = TupleSet.stitch(
+                {col: finished[col] for col in query.select},
+                stats=ctx.stats,
+            )
+        else:
+            merged = TupleSet.stitch(
+                {col: combined[col] for col in query.select},
+                stats=ctx.stats,
+            )
+        merged = _apply_having(ctx, merged, query)
+        ctx.stats.tuples_output = merged.n_tuples
+        return _order_and_limit(ctx, merged, query)
+
+    def _write_target(self, table: str, predicates) -> tuple:
+        """Resolve a delete/update target: schemas plus a covering projection.
+
+        Returns ``(schemas, cover)`` where *schemas* is the union over every
+        candidate projection and *cover* is a projection holding every table
+        column — required because deletes capture full rows, so any
+        projection (whatever its column subset) can subtract them later.
+        """
+        candidates = self.catalog.candidates(table)
+        if not candidates:
+            raise CatalogError(f"unknown projection or table {table!r}")
+        schemas: dict = {}
+        for proj in candidates:
+            for col in proj.column_names:
+                schemas.setdefault(col, proj.schema(col))
+        for pred in predicates:
+            if pred.column not in schemas:
+                raise CatalogError(
+                    f"unknown column {pred.column!r} of table {table!r}"
+                )
+        cover = next(
+            (
+                proj
+                for proj in candidates
+                if set(schemas) <= set(proj.column_names)
+            ),
+            None,
+        )
+        if cover is None:
+            raise CatalogError(
+                f"no projection of {table!r} covers every column; deletes "
+                "and updates need one full-width projection to resolve rows"
+            )
+        return schemas, cover
+
+    def _match_rows(
+        self, table: str, predicates, schemas, cover
+    ) -> tuple[list[dict], list[dict]]:
+        """Stored and pending rows matching *predicates* (encoded domain).
+
+        Stored matches already queued for deletion are excluded (a row can
+        only die once); predicates take stored-domain values, exactly like
+        :class:`~repro.planner.logical.SelectQuery` predicates.
+        """
+        from collections import Counter
+
+        stored_cols = {
+            col: cover.read_column_values(col) for col in schemas
+        }
+        n = len(next(iter(stored_cols.values()))) if stored_cols else 0
+        mask = np.ones(n, dtype=bool)
+        for pred in predicates:
+            mask &= pred.mask(stored_cols[pred.column])
+        order = sorted(schemas)
+        already = Counter(
+            tuple(int(row[c]) for c in order)
+            for row in self.delta.deleted_rows(table)
+        )
+        stored_matches: list[dict] = []
+        for i in np.flatnonzero(mask):
+            row = {col: int(stored_cols[col][i]) for col in schemas}
+            key = tuple(row[c] for c in order)
+            if already.get(key, 0):
+                already[key] -= 1
+            else:
+                stored_matches.append(row)
+        pending_rows = self.delta.rows(table)
+        pending_matches: list[dict] = []
+        if pending_rows:
+            arrays = {
+                pred.column: np.array(
+                    [row[pred.column] for row in pending_rows],
+                    dtype=np.int64,
+                )
+                for pred in predicates
+            }
+            pmask = np.ones(len(pending_rows), dtype=bool)
+            for pred in predicates:
+                pmask &= pred.mask(arrays[pred.column])
+            pending_matches = [
+                pending_rows[i] for i in np.flatnonzero(pmask)
+            ]
+        return stored_matches, pending_matches
+
+    def delete(self, table: str, predicates) -> int:
+        """Delete every row of *table* matching all *predicates*.
+
+        Stored matches become WAL-logged delete markers subtracted from
+        every query until the tuple mover drops them for good; pending
+        (not-yet-merged) matches are removed immediately. One WAL record
+        makes the whole delete atomic. Returns the number of rows deleted.
+        Predicate values are in the stored (encoded) domain, exactly as in
+        :class:`~repro.planner.logical.SelectQuery`.
+        """
+        predicates = tuple(predicates)
+        schemas, cover = self._write_target(table, predicates)
+        stored_matches, pending_matches = self._match_rows(
+            table, predicates, schemas, cover
+        )
+        if not stored_matches and not pending_matches:
+            return 0
+        return self.delta.delete(table, stored_matches, pending_matches)
+
+    def update(self, table: str, predicates, assignments: dict) -> int:
+        """Update matching rows of *table*: ``assignments`` is column ->
+        new (logical-domain) value, encoded through the column schema like
+        :meth:`insert` values.
+
+        Implemented as delete+insert in one atomic WAL record: matched
+        stored rows become delete markers, and every match re-enters the
+        writable store with the assignments applied. Returns the number of
+        rows updated.
+        """
+        predicates = tuple(predicates)
+        schemas, cover = self._write_target(table, predicates)
+        unknown = set(assignments) - set(schemas)
+        if unknown:
+            raise CatalogError(
+                f"unknown column(s) {sorted(unknown)} of table {table!r}"
+            )
+        encoded = {
+            col: schemas[col].encode_value(value)
+            for col, value in assignments.items()
+        }
+        stored_matches, pending_matches = self._match_rows(
+            table, predicates, schemas, cover
+        )
+        if not stored_matches and not pending_matches:
+            return 0
+        new_rows = [
+            dict(row, **encoded)
+            for row in stored_matches + pending_matches
+        ]
+        return self.delta.update(
+            table, stored_matches, pending_matches, new_rows
+        )
+
     def insert(self, table: str, rows: list[dict]) -> int:
         """Buffer rows into the writable store for *table* (an anchor name).
 
@@ -688,42 +971,64 @@ class Database:
         return self.delta.insert(table, rows, schemas)
 
     def pending(self, table: str) -> int:
-        """Number of buffered (not yet merged) rows for *table*."""
-        return self.delta.count(table)
+        """Number of buffered (not yet merged) changes for *table*:
+        pending inserted rows plus pending delete markers."""
+        return self.delta.count(table) + self.delta.deleted_count(table)
 
     def merge(self, table: str) -> int:
-        """The tuple mover: fold buffered rows into every projection of *table*.
+        """The tuple mover: fold buffered changes into every projection of
+        *table*.
 
         Rebuilds each projection (sort, encode, checksum, index, histogram)
-        from stored + pending rows, then clears the writable store. Returns
-        the number of rows moved.
+        from (stored − deleted) + pending rows and publishes every rebuild
+        in ONE atomic manifest commit — staged under ``tmp-*/``, fsynced,
+        renamed, committed by ``os.replace`` of the manifest (see
+        :meth:`repro.storage.catalog.Catalog.commit_merge`). The WAL is
+        truncated strictly after the commit; a crash anywhere in between
+        recovers via the manifest's ``wal_applied`` marker, so re-merging
+        is idempotent. Returns the number of changes moved.
         """
-        moved = self.delta.count(table)
+        moved = self.delta.count(table) + self.delta.deleted_count(table)
         if moved == 0:
             return 0
-        for proj in list(self.catalog.candidates(table)):
+        deleted_rows = self.delta.deleted_rows(table)
+        builds = []
+        for proj in sorted(
+            self.catalog.candidates(table), key=lambda p: p.name
+        ):
             schemas = {c: proj.schema(c) for c in proj.column_names}
             pending_cols = self.delta.columns(table, schemas)
-            data = {}
-            for col in proj.column_names:
-                stored = proj.read_column_values(col)
-                data[col] = __import__("numpy").concatenate(
-                    (stored, pending_cols[col])
-                )
-            encodings = {
-                col: proj.physical_column(col).encodings
+            stored = {
+                col: proj.read_column_values(col)
                 for col in proj.column_names
             }
-            self.catalog.replace_projection(
-                proj.name,
-                data,
-                schemas,
-                sort_keys=list(proj.sort_keys),
-                encodings=encodings,
-                anchor=proj.anchor,
-                partitions=max(len(proj.partitions), 1),
+            if deleted_rows:
+                keep = multiset_keep_mask(
+                    stored, deleted_rows, list(proj.column_names)
+                )
+                stored = {col: vals[keep] for col, vals in stored.items()}
+            data = {
+                col: np.concatenate((stored[col], pending_cols[col]))
+                for col in proj.column_names
+            }
+            builds.append(
+                dict(
+                    name=proj.name,
+                    data=data,
+                    schemas=schemas,
+                    sort_keys=list(proj.sort_keys),
+                    encodings={
+                        col: proj.physical_column(col).encodings
+                        for col in proj.column_names
+                    },
+                    anchor=proj.anchor,
+                    partitions=max(len(proj.partitions), 1),
+                )
             )
-        self.delta.clear(table)
+        self.catalog.commit_merge(
+            table, builds, self.delta.wal_records(table)
+        )
+        self.delta.mark_applied(table)
         self.clear_cache()  # stale payloads for the replaced files
         return moved
 
@@ -741,8 +1046,8 @@ class Database:
             pending = self._pending_table(side, anchor)
             if pending is not None:
                 raise ExecutionError(
-                    f"table {pending!r} has {self.delta.count(pending)} "
-                    "pending inserts; call Database.merge() before joining"
+                    f"table {pending!r} has {self.pending(pending)} "
+                    "pending writes; call Database.merge() before joining"
                 )
         left_needed = [query.left_key, *query.left_select] + [
             p.column for p in query.left_predicates

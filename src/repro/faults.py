@@ -47,10 +47,18 @@ from .metrics import QueryStats
 #: Environment variable the test harness reads to vary fault schedules in CI.
 FAULT_SEED_ENV = "REPRO_FAULT_SEED"
 
+#: Environment variable the crash-matrix job reads to vary crash workloads.
+CRASH_SEED_ENV = "REPRO_CRASH_SEED"
+
 
 def fault_seed_from_env(default: int = 0) -> int:
     """The CI fault-matrix seed (``REPRO_FAULT_SEED``), or *default*."""
     return int(os.environ.get(FAULT_SEED_ENV, str(default)))
+
+
+def crash_seed_from_env(default: int = 0) -> int:
+    """The CI crash-matrix seed (``REPRO_CRASH_SEED``), or *default*."""
+    return int(os.environ.get(CRASH_SEED_ENV, str(default)))
 
 
 @dataclass(frozen=True)
@@ -188,6 +196,143 @@ class FaultInjector:
         with self._lock:
             return {"rules": len(self.rules), "seed": self.seed,
                     **{f"injected_{k}": v for k, v in self.injected.items()}}
+
+
+class SimulatedCrash(BaseException):
+    """Process death injected at a write-path boundary.
+
+    Deliberately a :class:`BaseException`: the crash must tear straight
+    through ``except Exception`` cleanup (the qlog writer, retry loops) the
+    way a real ``kill -9`` would, so no layer can "handle" its own death.
+    The harness catches it at the very top, abandons the database object,
+    and reopens the directory cold to exercise recovery.
+    """
+
+    def __init__(self, op: str, path: str, step: int):
+        super().__init__(f"simulated crash at boundary {step}: {op} {path}")
+        self.op = op
+        self.path = path
+        self.step = step
+
+
+@dataclass(frozen=True)
+class CrashPoint:
+    """One declarative entry of a crash schedule.
+
+    Attributes:
+        op_glob: ``fnmatch`` pattern the boundary's operation name must
+            match (``wal.append``, ``wal.torn``, ``wal.fsync``,
+            ``wal.truncate``, ``file.write``, ``file.fsync``, ``dir.fsync``,
+            ``rename``, ``replace``, ``rmtree``); ``"*"`` matches every
+            boundary.
+        path_glob: ``fnmatch`` pattern the file path (or its basename) must
+            match; ``"*"`` matches every file.
+        probability: fraction of matching boundaries the point selects,
+            decided by a keyed BLAKE2 hash of the injector seed, the
+            boundary's operation, basename, and ordinal — deterministic for
+            a given seed, exactly like :class:`FaultRule` selection.
+    """
+
+    op_glob: str = "*"
+    path_glob: str = "*"
+    probability: float = 1.0
+
+    def matches(self, op: str, path: str) -> bool:
+        if not fnmatch.fnmatch(op, self.op_glob):
+            return False
+        return fnmatch.fnmatch(path, self.path_glob) or fnmatch.fnmatch(
+            os.path.basename(path), self.path_glob
+        )
+
+
+class CrashInjector:
+    """Deterministic, seedable crash-point injection for the write path.
+
+    Every durability-relevant boundary in the write path — WAL appends and
+    fsyncs, staging-file writes, directory fsyncs, renames, the manifest
+    ``os.replace`` commit point, post-commit cleanup — calls :meth:`hook`
+    with an operation name and a path. The injector counts boundaries on a
+    monotone step counter and raises :class:`SimulatedCrash` when either
+
+    * ``crash_at == step`` — exhaustive enumeration mode: the differential
+      harness first runs the workload with a passive injector to count the
+      boundaries, then replays it once per ordinal, crashing each boundary
+      in turn; or
+    * a :class:`CrashPoint` selects the boundary by keyed hash — schedule
+      mode, mirroring :class:`FaultRule`.
+
+    Like the fault injector, the hook is free when disabled (``crash = None``
+    callers skip it entirely; guarded by ``benchmarks/bench_write_path.py``).
+    """
+
+    def __init__(self, points=(), seed: int = 0, crash_at: int | None = None):
+        self.points: tuple[CrashPoint, ...] = tuple(points)
+        self.seed = seed
+        self.crash_at = crash_at
+        self.steps = 0
+        #: The crash this injector raised, if any (for the harness).
+        self.crashed: SimulatedCrash | None = None
+        self._lock = threading.Lock()
+
+    def _selects(self, point_index: int, point: CrashPoint,
+                 op: str, path: str, step: int) -> bool:
+        if point.probability >= 1.0:
+            return True
+        if point.probability <= 0.0:
+            return False
+        key = (
+            f"{self.seed}:{point_index}:{op}:"
+            f"{os.path.basename(path)}:{step}"
+        )
+        digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+        draw = int.from_bytes(digest, "big") / float(1 << 64)
+        return draw < point.probability
+
+    def check(self, op: str, path: str) -> bool:
+        """Count one boundary; True when the schedule says to crash here.
+
+        Exposed separately from :meth:`hook` for sites that must do partial
+        work *before* dying (the torn-WAL-tail write).
+        """
+        with self._lock:
+            self.steps += 1
+            step = self.steps
+        if self.crash_at is not None:
+            return step == self.crash_at
+        for i, point in enumerate(self.points):
+            if point.matches(op, str(path)) and self._selects(
+                i, point, op, str(path), step
+            ):
+                return True
+        return False
+
+    def hook(self, op: str, path) -> None:
+        """Die here if the schedule selects this boundary."""
+        if self.check(op, str(path)):
+            raise self.crash(op, str(path))
+
+    def crash(self, op: str, path: str) -> SimulatedCrash:
+        """Record and return the :class:`SimulatedCrash` for this boundary."""
+        exc = SimulatedCrash(op, str(path), self.steps)
+        self.crashed = exc
+        return exc
+
+    def reset(self) -> None:
+        """Restart the boundary counter (fresh workload, same schedule)."""
+        with self._lock:
+            self.steps = 0
+            self.crashed = None
+
+    def metrics(self) -> dict:
+        """Crash-schedule state for the metrics registry's collectors."""
+        with self._lock:
+            return {
+                "points": len(self.points),
+                "seed": self.seed,
+                "crash_at": self.crash_at,
+                "steps": self.steps,
+                "crashed": self.crashed is not None,
+            }
 
 
 @dataclass(frozen=True)

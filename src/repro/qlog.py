@@ -39,6 +39,7 @@ from __future__ import annotations
 import atexit
 import json
 import logging
+import os
 import queue
 import threading
 import time
@@ -382,6 +383,8 @@ class QueryLog:
         self._drain_now.set()
         self._writer.join()
         if self._fh is not None:
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
             self._fh = None
         atexit.unregister(self.close)
@@ -452,6 +455,10 @@ class QueryLog:
         line = json.dumps(record, separators=(",", ":")) + "\n"
         payload = line.encode("utf-8")
         if self._size + len(payload) > self.max_segment_bytes and self._size:
+            # Seal the full segment durably before rotating: once the next
+            # segment exists, readers treat this one as immutable history.
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
             self._fh.close()
             self._index += 1
             self._size = 0

@@ -44,6 +44,7 @@ class ScrubIssue:
     column: str | None = None
     encoding: str | None = None
     block: int | None = None
+    line: int | None = None
 
     def to_json(self) -> dict:
         return {
@@ -53,6 +54,7 @@ class ScrubIssue:
             "encoding": self.encoding,
             "file": self.file,
             "block": self.block,
+            "line": self.line,
             "error": self.error,
         }
 
@@ -95,7 +97,206 @@ def scrub_catalog(catalog, deep: bool = False) -> ScrubReport:
             _scrub_partitioned(projection, report, deep)
         else:
             _scrub_columns(projection, report, deep, partition=None)
+    _scrub_write_path(catalog, report)
     return report
+
+
+#: Synthetic projection name for issues in the catalog's shared write-path
+#: files (manifest, staging debris) rather than any one projection.
+CATALOG_SCOPE = "(catalog)"
+
+
+def _scrub_write_path(catalog, report: ScrubReport) -> None:
+    """Verify the write path: manifest, staging debris, and WAL segments.
+
+    The manifest must parse and every projection it names must exist;
+    ``tmp-*`` staging directories (and a staged manifest copy) are
+    uncommitted debris a crash left behind; each per-table WAL must be
+    line-by-line valid JSON with known record shapes — only its *final*
+    line may be torn (that case is recoverable and reported as such). A
+    ``wal_applied`` marker exceeding the WAL's record count would make
+    recovery discard the whole log, so it is flagged too.
+    """
+    root = getattr(catalog, "root", None)
+    if root is None:  # what-if views have no write path
+        return
+    _scrub_manifest(catalog, report)
+    for path in sorted(root.glob("tmp-*")) + sorted(
+        root.glob("manifest.json.tmp")
+    ):
+        report.issues.append(
+            ScrubIssue(
+                projection=CATALOG_SCOPE,
+                file=str(path),
+                error=(
+                    "orphaned staging path left by an interrupted commit "
+                    "(reopening the database garbage-collects it)"
+                ),
+            )
+        )
+    wal_dir = root / "_wal"
+    if wal_dir.is_dir():
+        for path in sorted(wal_dir.glob("*.wal")):
+            _scrub_wal(catalog, path, report)
+
+
+def _scrub_manifest(catalog, report: ScrubReport) -> None:
+    import json
+
+    from .storage.projection import META_FILE
+
+    path = catalog.root / "manifest.json"
+    report.files_scanned += 1
+    if not path.exists():
+        report.issues.append(
+            ScrubIssue(
+                projection=CATALOG_SCOPE,
+                file=str(path),
+                error="catalog manifest missing",
+            )
+        )
+        return
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        report.issues.append(
+            ScrubIssue(
+                projection=CATALOG_SCOPE,
+                file=str(path),
+                error=f"corrupt catalog manifest: {exc}",
+            )
+        )
+        return
+    if not isinstance(data, dict) or not isinstance(
+        data.get("projections"), dict
+    ):
+        report.issues.append(
+            ScrubIssue(
+                projection=CATALOG_SCOPE,
+                file=str(path),
+                error="corrupt catalog manifest: missing projections map",
+            )
+        )
+        return
+    if not isinstance(data.get("generation"), int) or data["generation"] < 0:
+        report.issues.append(
+            ScrubIssue(
+                projection=CATALOG_SCOPE,
+                file=str(path),
+                error=(
+                    "corrupt catalog manifest: generation is "
+                    f"{data.get('generation')!r}"
+                ),
+            )
+        )
+    for name, dirname in sorted(data["projections"].items()):
+        meta = catalog.root / str(dirname) / META_FILE
+        if not meta.exists():
+            report.issues.append(
+                ScrubIssue(
+                    projection=name,
+                    file=str(meta),
+                    error=(
+                        f"manifest names projection {name!r} at "
+                        f"{dirname!r} but its metadata is missing"
+                    ),
+                )
+            )
+    for table, count in sorted(data.get("wal_applied", {}).items()):
+        wal = catalog.root / "_wal" / f"{table}.wal"
+        if not isinstance(count, int) or count < 0:
+            report.issues.append(
+                ScrubIssue(
+                    projection=table,
+                    file=str(path),
+                    error=(
+                        f"corrupt wal_applied marker for {table!r}: "
+                        f"{count!r}"
+                    ),
+                )
+            )
+        elif count and not wal.exists():
+            # Legal mid-recovery state (crash between WAL unlink and the
+            # marker-clearing commit) — reported so operators see it, and
+            # self-healing on the next open.
+            report.issues.append(
+                ScrubIssue(
+                    projection=table,
+                    file=str(wal),
+                    error=(
+                        f"wal_applied marker is {count} but the WAL is "
+                        "gone (recoverable: the next open clears it)"
+                    ),
+                )
+            )
+
+
+_WAL_OPS = (None, "insert", "delete", "update")
+
+
+def _scrub_wal(catalog, path, report: ScrubReport) -> None:
+    import json
+
+    report.files_scanned += 1
+    lines = []
+    with open(path, encoding="utf-8") as f:
+        for raw in f:
+            raw = raw.strip()
+            if raw:
+                lines.append(raw)
+    records = 0
+    for i, line in enumerate(lines):
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            if i == len(lines) - 1:
+                report.issues.append(
+                    ScrubIssue(
+                        projection=path.stem,
+                        file=str(path),
+                        line=i + 1,
+                        error=(
+                            "torn final WAL line (recoverable: dropped on "
+                            f"the next open): {exc}"
+                        ),
+                    )
+                )
+            else:
+                report.issues.append(
+                    ScrubIssue(
+                        projection=path.stem,
+                        file=str(path),
+                        line=i + 1,
+                        error=(
+                            f"corrupt WAL record (line {i + 1} of "
+                            f"{len(lines)}): {exc}"
+                        ),
+                    )
+                )
+            continue
+        records += 1
+        op = record.get("_op") if isinstance(record, dict) else "?"
+        if op not in _WAL_OPS:
+            report.issues.append(
+                ScrubIssue(
+                    projection=path.stem,
+                    file=str(path),
+                    line=i + 1,
+                    error=f"unknown WAL record op {op!r}",
+                )
+            )
+    marker = getattr(catalog, "wal_applied", {}).get(path.stem, 0)
+    if marker > records:
+        report.issues.append(
+            ScrubIssue(
+                projection=path.stem,
+                file=str(path),
+                error=(
+                    f"wal_applied marker is {marker} but the WAL holds "
+                    f"only {records} records"
+                ),
+            )
+        )
 
 
 def _scrub_partitioned(projection, report: ScrubReport, deep: bool) -> None:
@@ -116,6 +317,20 @@ def _scrub_partitioned(projection, report: ScrubReport, deep: bool) -> None:
         child_rows += child.n_rows
         _scrub_columns(child, report, deep, partition=part.name,
                        parent=projection)
+        if deep:
+            try:
+                zone_problems = part.verify_zone_maps()
+            except ReproError as exc:
+                zone_problems = [f"cannot verify zone maps: {exc}"]
+            for problem in zone_problems:
+                report.issues.append(
+                    ScrubIssue(
+                        projection=projection.name,
+                        partition=part.name,
+                        file=str(part.directory / "projection.json"),
+                        error=problem,
+                    )
+                )
     if child_rows != projection.n_rows and not report.issues:
         report.issues.append(
             ScrubIssue(

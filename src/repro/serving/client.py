@@ -5,6 +5,13 @@ writes a JSON line and awaits the matching response line. Convenience
 wrappers cover the common ops; the raw :meth:`request` takes any protocol
 dict. Used by the load generator, the concurrency differential harness and
 the serving tests.
+
+Read-only requests survive one transient connection reset: the client
+reconnects after a capped exponential backoff and replays the request,
+counting each recovery in the ``serving.reconnects_total`` metric.
+Non-idempotent ops (``set``, ``close``) are never replayed — a reset there
+surfaces as the original :class:`ConnectionError` because the server may
+have acted on the request before the connection died.
 """
 
 from __future__ import annotations
@@ -12,38 +19,94 @@ from __future__ import annotations
 import asyncio
 import json
 
+from ..metrics import REGISTRY
 from .protocol import query_to_dict
 from .server import STREAM_LIMIT
+
+#: Ops safe to replay after a connection reset: they read state (or, for
+#: ``session``, re-establish it) without mutating the database or knobs.
+IDEMPOTENT_OPS = frozenset(
+    {"query", "sql", "explain", "session", "stats", "metrics", "ping"}
+)
+
+#: First-retry backoff and the cap it grows toward on repeated resets.
+RECONNECT_BACKOFF_BASE = 0.05
+RECONNECT_BACKOFF_CAP = 1.0
 
 
 class AsyncQueryClient:
     """Line-protocol client bound to one server connection."""
 
-    def __init__(self, reader, writer, greeting: dict):
+    def __init__(self, reader, writer, greeting: dict, *,
+                 host: str | None = None, port: int | None = None,
+                 metrics=None):
         self._reader = reader
         self._writer = writer
         self.greeting = greeting
         self.session_id = greeting.get("session_id")
+        self._host = host
+        self._port = port
+        self._metrics = metrics if metrics is not None else REGISTRY
+        self._consecutive_resets = 0
 
     @classmethod
     async def connect(
-        cls, host: str = "127.0.0.1", port: int = 0
+        cls, host: str = "127.0.0.1", port: int = 0, metrics=None
     ) -> "AsyncQueryClient":
         """Open a connection and consume the server greeting."""
         reader, writer = await asyncio.open_connection(
             host, port, limit=STREAM_LIMIT
         )
         greeting = json.loads(await reader.readline())
-        return cls(reader, writer, greeting)
+        return cls(reader, writer, greeting,
+                   host=host, port=port, metrics=metrics)
 
     async def request(self, payload: dict) -> dict:
-        """Send one protocol dict, await and parse the response line."""
+        """Send one protocol dict, await and parse the response line.
+
+        Idempotent (read-only) ops get one transparent retry on a
+        transient reset; everything else propagates the failure.
+        """
+        try:
+            result = await self._send(payload)
+        except (ConnectionError, asyncio.IncompleteReadError):
+            if (
+                payload.get("op") not in IDEMPOTENT_OPS
+                or self._host is None
+            ):
+                raise
+            await self._reconnect()
+            result = await self._send(payload)
+        self._consecutive_resets = 0
+        return result
+
+    async def _send(self, payload: dict) -> dict:
         self._writer.write(json.dumps(payload).encode("utf-8") + b"\n")
         await self._writer.drain()
         line = await self._reader.readline()
         if not line:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
+
+    async def _reconnect(self) -> None:
+        """Replace the dead connection after a capped exponential backoff."""
+        backoff = min(
+            RECONNECT_BACKOFF_BASE * 2 ** self._consecutive_resets,
+            RECONNECT_BACKOFF_CAP,
+        )
+        self._consecutive_resets += 1
+        await asyncio.sleep(backoff)
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port, limit=STREAM_LIMIT
+        )
+        self.greeting = json.loads(await self._reader.readline())
+        self.session_id = self.greeting.get("session_id")
+        self._metrics.counter("serving.reconnects_total").inc()
 
     # ----------------------------------------------------------- conveniences
 

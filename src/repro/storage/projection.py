@@ -306,8 +306,13 @@ class Projection:
                 for col, pc in self.columns.items()
             },
         }
-        with open(self.directory / META_FILE, "w", encoding="utf-8") as f:
-            json.dump(meta, f, indent=2)
+        # Write-then-replace so a crash mid-dump can never leave a
+        # half-written metadata file where a valid one used to be.
+        from .atomic import write_file_atomic
+
+        write_file_atomic(
+            self.directory / META_FILE, json.dumps(meta, indent=2)
+        )
 
     @classmethod
     def open(cls, directory: str | Path) -> "Projection":

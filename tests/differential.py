@@ -66,6 +66,34 @@ under a different ``parallel_scans`` setting to stack a second physical
 knob on top. Every replayed result hash must equal the hash captured at
 record time, so a single mismatch means the advisor changed an answer.
 
+An eighth, **crash** axis (:func:`run_crash_differential`) proves the write
+path is crash-consistent at *every* write/fsync/rename boundary. A seeded
+mixed workload — inserts, updates, deletes, tuple-mover merges and advisor
+applies — first runs to completion on a clean copy of a small template
+database under a passive :class:`~repro.faults.CrashInjector` that only
+counts boundaries, recording the canonical row state after every operation.
+Then, for each boundary step *k*, a fresh copy replays the same workload
+with ``crash_at=k``: the injector raises
+:class:`~repro.faults.SimulatedCrash` at exactly that boundary, the harness
+abandons the handle (a hard kill — no close, no flush) and reopens the
+database cold. Every recovered state must be **prefix-consistent** — equal
+to the clean reference executed to the same operation prefix, where the
+interrupted operation is either fully invisible, fully applied, or (for a
+multi-row insert, whose WAL lines land one row at a time) a row prefix —
+and resuming the remaining workload on the recovered database must
+reproduce the clean final state and query answers bit for bit (the reopened
+database also runs with a different ``parallel_scans``, stacking a second
+physical knob on the recovery path). The CI crash matrix varies the
+boundary schedule via ``REPRO_CRASH_SEED``.
+
+A companion **write** axis (:func:`run_write_differential`) proves
+merge-on-read over updates and deletes is purely logical: the same seeded
+insert/update/delete workload is applied to two identically-loaded
+databases, one of which then folds everything into the read store with the
+tuple mover while the other leaves it all pending in the delta store —
+every generated query under every strategy must produce the identical
+sorted row set on both.
+
 Known physical limitation: LM-pipelined cannot position-filter bit-vector
 encoded columns (``UnsupportedOperationError``); such runs are recorded as
 skips, not failures.
@@ -682,4 +710,518 @@ def run_fault_differential(
             rows = sorted(result.rows())
             if rows != reference:
                 report.record_mismatch(query, strategy.value, reference, rows)
+    return report
+
+
+def seeded_write_workload(db, projection: str, seed: int, n_ops: int = 12):
+    """A seeded list of logical write ops over *projection*'s value domains.
+
+    Returns ``[("insert", table, rows), ("update", table, preds, assigns),
+    ("delete", table, preds), ...]`` with values drawn from the observed
+    stored-domain ranges, so predicates land anywhere from empty to broad
+    and inserted rows are always encodable. The list is a pure value — the
+    same ops can be applied to any database holding the same logical data.
+    """
+    rng = random.Random(seed)
+    proj = db.projection(projection)
+    columns = list(proj.column_names)
+    domains = {}
+    schemas = {}
+    for col in columns:
+        values = proj.read_column_values(col)
+        domains[col] = (int(values.min()), int(values.max()))
+        schemas[col] = proj.schema(col)
+
+    def logical_row():
+        return {
+            col: schemas[col].decode_value(rng.randint(*domains[col]))
+            for col in columns
+        }
+
+    def predicate():
+        col = rng.choice(columns)
+        lo, hi = domains[col]
+        return Predicate(col, rng.choice(("<", "<=", ">", ">=")),
+                         rng.randint(lo, hi))
+
+    ops = []
+    for _ in range(n_ops):
+        roll = rng.random()
+        if roll < 0.4:
+            rows = [logical_row() for _ in range(rng.randint(1, 3))]
+            ops.append(("insert", projection, rows))
+        elif roll < 0.7:
+            col = rng.choice(columns)
+            assigns = {
+                col: schemas[col].decode_value(rng.randint(*domains[col]))
+            }
+            ops.append(("update", projection, (predicate(),), assigns))
+        else:
+            ops.append(("delete", projection, (predicate(),)))
+    return ops
+
+
+def apply_write_op(db, op) -> int:
+    """Apply one :func:`seeded_write_workload` op; returns rows touched."""
+    kind, table = op[0], op[1]
+    if kind == "insert":
+        return db.insert(table, op[2])
+    if kind == "update":
+        return db.update(table, op[2], op[3])
+    if kind == "delete":
+        return db.delete(table, op[2])
+    raise ValueError(f"unknown write op {kind!r}")
+
+
+def run_write_differential(
+    merged_db,
+    pending_db,
+    n_queries: int = 30,
+    seed: int = 0,
+    projection: str = "lineitem",
+    strategies=STRATEGIES,
+    n_ops: int = 12,
+) -> DifferentialReport:
+    """The write axis: updates/deletes are identical merged or pending.
+
+    *merged_db* and *pending_db* must hold the same logical data (same
+    scale and seed). The identical seeded insert/update/delete workload is
+    applied to both; *merged_db* then runs the tuple mover (folding the
+    whole write set into rebuilt projections) while *pending_db* leaves
+    everything in the delta store, answered by merge-on-read. Every
+    generated query under every strategy must produce the identical sorted
+    row set on both databases — the end-to-end proof that the write path
+    (WAL, delete multisets, upserts, merge) is purely physical.
+
+    The merged side runs traced with the span invariants checked; the
+    pending side runs untraced (delta-store row stitching accounts tuple
+    iterations outside the span tree by design). The sweep asserts the
+    workload really updated and deleted rows, so the axis cannot silently
+    degrade to the insert-only differential.
+    """
+    ops = seeded_write_workload(pending_db, projection, seed, n_ops=n_ops)
+    touched = {"insert": 0, "update": 0, "delete": 0}
+    for op in ops:
+        a = apply_write_op(merged_db, op)
+        b = apply_write_op(pending_db, op)
+        assert a == b, (
+            f"op {op[0]} touched {a} rows on the merged db, {b} on the "
+            "pending db — the databases have diverged"
+        )
+        touched[op[0]] += a
+    assert touched["update"] > 0 and touched["delete"] > 0, (
+        f"workload must update and delete rows, touched {touched}"
+    )
+    merged_db.merge(projection)
+    assert merged_db.pending(projection) == 0
+    assert pending_db.pending(projection) > 0, (
+        "the pending side must answer through merge-on-read"
+    )
+
+    gen = QueryGenerator(merged_db, projection=projection, seed=seed)
+    report = DifferentialReport()
+    for _ in range(n_queries):
+        query = gen.next_query()
+        report.queries += 1
+        report.encodings_used.update(dict(query.encodings).values())
+        reference = None
+        for strategy in strategies:
+            for db in (merged_db, pending_db):
+                traced = db is merged_db
+                try:
+                    result = db.query(query, strategy=strategy,
+                                      trace=traced)
+                except UnsupportedOperationError:
+                    report.skipped += 1
+                    continue
+                report.runs += 1
+                if traced:
+                    check_span_invariants(result, db.constants)
+                rows = sorted(result.rows())
+                if reference is None:
+                    reference = rows
+                elif rows != reference:
+                    report.record_mismatch(
+                        query, strategy.value, reference, rows
+                    )
+    return report
+
+
+# --------------------------------------------------------------- crash axis
+
+
+@dataclass
+class CrashDifferentialReport:
+    """Outcome of one crash-differential sweep."""
+
+    #: Write/fsync/rename boundaries the reference workload crosses.
+    boundaries: int = 0
+    #: Crash trials executed (one per tested boundary).
+    trials: int = 0
+    #: Trials in which the injector actually fired.
+    crashes: int = 0
+    #: Op kinds a crash interrupted ("open", "insert", "update", ...).
+    ops_crashed: set = field(default_factory=set)
+    #: Recoveries that surfaced a partially-durable multi-row insert
+    #: (a true torn-tail row prefix, not just all-or-nothing).
+    prefix_recoveries: int = 0
+    mismatches: list = field(default_factory=list)
+
+
+def build_crash_template(root, seed: int = 0):
+    """A small two-table database for the crash axis.
+
+    ``items`` is the interesting table: three int32 columns behind two
+    projections — a range-partitioned primary sorted on ``a`` (with an RLE
+    secondary encoding) and an anchored secondary sorted on ``b`` — so a
+    tuple-mover merge rebuilds several directories in one commit. ``tags``
+    is a second table proving per-table WAL isolation. All columns are
+    plain integers, so logical and stored domains coincide and canonical
+    row states compose exactly with WAL row prefixes.
+    """
+    import numpy as np
+
+    from repro import Database, MetricsRegistry
+    from repro.dtypes import INT32, ColumnSchema
+
+    db = Database(root, query_log=False, metrics=MetricsRegistry())
+    rng = np.random.default_rng(seed)
+    n = 240
+    items = {
+        "a": np.sort(rng.integers(0, 500, size=n)).astype(np.int32),
+        "b": rng.integers(0, 50, size=n).astype(np.int32),
+        "c": rng.integers(0, 1000, size=n).astype(np.int32),
+    }
+    schemas = {col: ColumnSchema(col, INT32) for col in items}
+    db.catalog.create_projection(
+        "items",
+        items,
+        schemas=schemas,
+        sort_keys=["a"],
+        encodings={"a": ["uncompressed", "rle"],
+                   "b": ["uncompressed", "rle"],
+                   "c": ["uncompressed"]},
+        presorted=True,
+        partitions=2,
+    )
+    db.catalog.create_projection(
+        "items_b",
+        dict(items),
+        schemas=dict(schemas),
+        sort_keys=["b"],
+        encodings={"a": ["uncompressed"],
+                   "b": ["uncompressed", "rle"],
+                   "c": ["uncompressed"]},
+        anchor="items",
+    )
+    m = 60
+    tags = {
+        "t": np.sort(rng.integers(0, 20, size=m)).astype(np.int32),
+        "v": rng.integers(0, 100, size=m).astype(np.int32),
+    }
+    db.catalog.create_projection(
+        "tags",
+        tags,
+        schemas={col: ColumnSchema(col, INT32) for col in tags},
+        sort_keys=["t"],
+        encodings={"t": ["uncompressed", "rle"], "v": ["uncompressed"]},
+        presorted=True,
+    )
+    db.close()
+
+
+#: Tables of the crash template and the column order of their canonical
+#: row states.
+CRASH_TABLES = {"items": ("a", "b", "c"), "tags": ("t", "v")}
+
+
+def crash_workload(seed: int = 0):
+    """The deterministic mixed op list the crash axis replays.
+
+    Every value is precomputed here (one seeded draw), so the reference
+    run and every crash trial execute byte-identical operations — which is
+    what makes the boundary numbering stable across runs.
+    """
+    rng = random.Random(seed)
+
+    def item_rows(k):
+        return [
+            {"a": rng.randint(0, 499), "b": rng.randint(0, 49),
+             "c": rng.randint(0, 999)}
+            for _ in range(k)
+        ]
+
+    def tag_rows(k):
+        return [
+            {"t": rng.randint(0, 19), "v": rng.randint(0, 99)}
+            for _ in range(k)
+        ]
+
+    return [
+        ("insert", "items", item_rows(3)),
+        ("insert", "tags", tag_rows(2)),
+        ("update", "items", (Predicate("b", "<", 10),), {"c": 1111}),
+        ("delete", "items", (Predicate("a", ">=", 450),)),
+        ("merge", "items"),
+        ("insert", "items", item_rows(2)),
+        ("delete", "tags", (Predicate("t", "=", 5),)),
+        ("merge", "tags"),
+        ("update", "items", (Predicate("b", ">=", 45),), {"b": 7}),
+        ("insert", "items", item_rows(3)),
+        ("merge", "items"),
+        ("apply_build", "items"),
+        ("insert", "items", item_rows(2)),
+        ("delete", "items", (Predicate("c", "<", 60),)),
+        ("merge", "items"),
+        ("apply_drop", "items"),
+        ("insert", "tags", tag_rows(3)),
+        ("update", "tags", (Predicate("v", "<", 30),), {"v": 77}),
+        ("merge", "tags"),
+    ]
+
+
+def _crash_apply_op(db, op) -> None:
+    """Execute one :func:`crash_workload` op against *db*."""
+    from repro.advisor.plan import AdvisorAction, AdvisorPlan, apply_plan
+
+    kind = op[0]
+    if kind == "insert":
+        db.insert(op[1], op[2])
+    elif kind == "update":
+        db.update(op[1], op[2], op[3])
+    elif kind == "delete":
+        db.delete(op[1], op[2])
+    elif kind == "merge":
+        db.merge(op[1])
+    elif kind == "apply_build":
+        plan = AdvisorPlan(actions=[AdvisorAction(
+            kind="build", name="items_c", anchor=op[1],
+            columns=("c", "a"), sort_keys=("c",),
+            encodings={"c": ["uncompressed", "rle"],
+                       "a": ["uncompressed"]},
+        )])
+        apply_plan(db, plan)
+    elif kind == "apply_drop":
+        plan = AdvisorPlan(actions=[AdvisorAction(kind="drop",
+                                                  name="items_c")])
+        apply_plan(db, plan)
+    else:
+        raise ValueError(f"unknown crash op {kind!r}")
+
+
+def _canonical_state(db) -> dict:
+    """table -> sorted tuple rows, via a full merge-on-read scan."""
+    state = {}
+    for table, columns in CRASH_TABLES.items():
+        result = db.query(
+            SelectQuery(projection=table, select=columns),
+            strategy=Strategy.EM_PARALLEL,
+        )
+        state[table] = sorted(result.rows())
+    return state
+
+
+def _crash_suite_queries():
+    """Fixed query suite hashing the recovered database's answers."""
+    return [
+        SelectQuery(projection="items", select=("a", "b", "c")),
+        SelectQuery(projection="items", select=("b", "c"),
+                    predicates=(Predicate("a", "<", 250),)),
+        SelectQuery(projection="items",
+                    select=("b", AggSpec("sum", "c").output_name),
+                    group_by="b", aggregates=(AggSpec("sum", "c"),)),
+        SelectQuery(projection="tags", select=("t", "v"),
+                    predicates=(Predicate("v", ">=", 20),)),
+    ]
+
+
+def _acceptance_states(ops, states, j):
+    """Every prefix-consistent state for a crash during op *j* (1-based).
+
+    ``states[j]`` is the canonical state after op j (``states[0]`` = the
+    template). The interrupted op may be invisible, fully applied, or —
+    for a multi-row insert, whose WAL lines land row by row and whose tail
+    may tear mid-payload — any row prefix. Merges and applies never change
+    the canonical state, so for them before/after coincide.
+    """
+    if j == 0:
+        return [states[0]]
+    op = ops[j - 1]
+    before, after = states[j - 1], states[j]
+    if op[0] == "insert":
+        table, rows = op[1], op[2]
+        columns = CRASH_TABLES[table]
+        accepted = []
+        for i in range(len(rows) + 1):
+            state = {t: list(v) for t, v in before.items()}
+            state[table] = sorted(
+                state[table]
+                + [tuple(int(r[c]) for c in columns) for r in rows[:i]]
+            )
+            accepted.append(state)
+        return accepted
+    if op[0] in ("update", "delete"):
+        return [before, after]
+    return [before]  # merge / apply: answer-preserving by construction
+
+
+def run_crash_differential(
+    template_root,
+    work_root,
+    seed: int = 0,
+    max_crash_points: int | None = None,
+    parallel_scans: int = 2,
+) -> CrashDifferentialReport:
+    """The crash axis: every write boundary, crashed and recovered.
+
+    Builds the template database under *template_root*, runs the seeded
+    :func:`crash_workload` once on a clean copy under a step-counting
+    injector (recording boundary ranges and the canonical state after
+    every op), then for each boundary *k* replays the workload on a fresh
+    copy with ``crash_at=k``, hard-abandons the crashed handle, reopens
+    cold with a different ``parallel_scans``, and checks:
+
+    1. the recovered canonical state is one of the prefix-consistent
+       acceptance states for the interrupted op (acknowledged writes
+       durable, unacknowledged invisible);
+    2. resuming the remaining workload reproduces the clean reference's
+       final canonical state and the fixed query suite's answers bit for
+       bit (one strategy per trial, rotating through all four).
+
+    ``max_crash_points`` subsamples the boundary list evenly when set
+    (every boundary is tested when ``None``).
+    """
+    import shutil
+
+    from repro import Database, MetricsRegistry
+    from repro.faults import CrashInjector, SimulatedCrash
+
+    template_root = str(template_root)
+    work_root = str(work_root)
+    build_crash_template(template_root, seed=seed)
+    ops = crash_workload(seed=seed)
+
+    def fresh(target):
+        shutil.rmtree(target, ignore_errors=True)
+        shutil.copytree(template_root, target)
+
+    # ----------------------------------------------------- reference run
+    ref_root = f"{work_root}/reference"
+    fresh(ref_root)
+    counter = CrashInjector(seed=seed)  # no schedule: counts boundaries
+    ref_db = Database(ref_root, crash_injector=counter,
+                      query_log=False, metrics=MetricsRegistry())
+    cumulative = [counter.steps]  # boundaries consumed by the open itself
+    states = [_canonical_state(ref_db)]
+    for op in ops:
+        _crash_apply_op(ref_db, op)
+        cumulative.append(counter.steps)
+        states.append(_canonical_state(ref_db))
+    for j, op in enumerate(ops, start=1):
+        if op[0] in ("merge", "apply_build", "apply_drop"):
+            assert states[j] == states[j - 1], (
+                f"{op[0]} changed the canonical state — the acceptance "
+                "model is unsound"
+            )
+    suite = _crash_suite_queries()
+    reference_answers = [
+        sorted(ref_db.query(q, strategy=Strategy.EM_PARALLEL).rows())
+        for q in suite
+    ]
+    ref_db.close()
+
+    report = CrashDifferentialReport(boundaries=cumulative[-1])
+    crash_points = list(range(1, cumulative[-1] + 1))
+    if max_crash_points is not None and len(crash_points) > max_crash_points:
+        stride = len(crash_points) / max_crash_points
+        crash_points = [
+            crash_points[int(i * stride)] for i in range(max_crash_points)
+        ]
+
+    # ----------------------------------------------------- crash trials
+    trial_root = f"{work_root}/trial"
+    for trial, k in enumerate(crash_points):
+        report.trials += 1
+        fresh(trial_root)
+        injector = CrashInjector(seed=seed, crash_at=k)
+        crashed_at = None  # 1-based op index; 0 = during open
+        try:
+            db = Database(trial_root, crash_injector=injector,
+                          query_log=False, metrics=MetricsRegistry())
+            for j, op in enumerate(ops, start=1):
+                _crash_apply_op(db, op)
+        except SimulatedCrash:
+            crashed_at = 0 if injector.steps <= cumulative[0] else next(
+                j for j in range(1, len(ops) + 1)
+                if injector.steps <= cumulative[j]
+            )
+        # No close(), no flush: the crashed handle is abandoned exactly
+        # where the exception left it, like a killed process.
+        if crashed_at is None:
+            report.mismatches.append(
+                {"crash_at": k, "error": "injector never fired"}
+            )
+            continue
+        report.crashes += 1
+        report.ops_crashed.add(
+            "open" if crashed_at == 0 else ops[crashed_at - 1][0]
+        )
+
+        recovered = Database(trial_root, query_log=False,
+                             metrics=MetricsRegistry(),
+                             parallel_scans=parallel_scans)
+        state = _canonical_state(recovered)
+        accepted = _acceptance_states(ops, states, crashed_at)
+        try:
+            match = accepted.index(state)
+        except ValueError:
+            report.mismatches.append(
+                {
+                    "crash_at": k,
+                    "op": crashed_at,
+                    "error": "recovered state is not prefix-consistent",
+                    "rows": {t: len(v) for t, v in state.items()},
+                }
+            )
+            recovered.close()
+            continue
+        if crashed_at and ops[crashed_at - 1][0] == "insert":
+            if 0 < match < len(accepted) - 1:
+                report.prefix_recoveries += 1
+
+        # Resume: finish (or redo) the interrupted op, then run the rest.
+        if crashed_at == 0:
+            remaining = ops
+        else:
+            op = ops[crashed_at - 1]
+            if op[0] == "insert":
+                recovered.insert(op[1], op[2][match:])
+            elif op[0] in ("update", "delete"):
+                if match == 0:  # the op never became durable
+                    _crash_apply_op(recovered, op)
+            else:
+                _crash_apply_op(recovered, op)  # idempotent re-run
+            remaining = ops[crashed_at:]
+        for op in remaining:
+            _crash_apply_op(recovered, op)
+
+        final = _canonical_state(recovered)
+        if final != states[-1]:
+            report.mismatches.append(
+                {"crash_at": k, "op": crashed_at,
+                 "error": "resumed final state diverges from reference"}
+            )
+            recovered.close()
+            continue
+        strategy = STRATEGIES[trial % len(STRATEGIES)]
+        for q, expected in zip(suite, reference_answers):
+            got = sorted(recovered.query(q, strategy=strategy).rows())
+            if got != expected:
+                report.mismatches.append(
+                    {"crash_at": k, "op": crashed_at,
+                     "strategy": strategy.value,
+                     "error": "query suite diverges after recovery"}
+                )
+                break
+        recovered.close()
     return report

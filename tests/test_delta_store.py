@@ -183,3 +183,149 @@ class TestTupleMover:
         cf = lineitem.column("quantity").file()
         assert cf.histogram is not None
         assert cf.histogram.n_values == lineitem.n_rows
+
+
+class TestDeletes:
+    def test_delete_pending_rows_is_immediate(self, db):
+        db.insert("lineitem", [lineitem_row(linenum=77)] * 3)
+        n = db.delete("lineitem", (Predicate("linenum", "=", 77),))
+        assert n == 3
+        assert db.sql(
+            "SELECT linenum FROM lineitem WHERE linenum = 77"
+        ).n_rows == 0
+        assert db.pending("lineitem") == 0  # nothing left to move
+
+    def test_delete_stored_rows_subtracted_from_queries(self, db):
+        before = db.sql("SELECT linenum FROM lineitem WHERE linenum = 3")
+        n = db.delete("lineitem", (Predicate("linenum", "=", 3),))
+        assert n == before.n_rows > 0
+        for strategy in ("em-pipelined", "em-parallel", "lm-parallel"):
+            assert db.sql(
+                "SELECT linenum FROM lineitem WHERE linenum = 3",
+                strategy=strategy,
+            ).n_rows == 0
+
+    def test_delete_affects_aggregates(self, db):
+        full = db.sql(
+            "SELECT returnflag, sum(quantity) FROM lineitem "
+            "GROUP BY returnflag"
+        )
+        db.delete("lineitem", (Predicate("returnflag", "=", 0),))
+        reduced = db.sql(
+            "SELECT returnflag, sum(quantity) FROM lineitem "
+            "GROUP BY returnflag"
+        )
+        flags = {row[0] for row in reduced.rows()}
+        assert 0 not in flags
+        kept = {row[0]: row[1] for row in full.rows() if row[0] != 0}
+        assert {row[0]: row[1] for row in reduced.rows()} == kept
+
+    def test_delete_no_matches_returns_zero_and_logs_nothing(self, db):
+        wal = db.catalog.root / "_wal" / "lineitem.wal"
+        assert db.delete("lineitem", (Predicate("quantity", ">", 10**6),)) == 0
+        assert not wal.exists()
+
+    def test_deletes_survive_restart(self, db, tmp_path):
+        n = db.delete("lineitem", (Predicate("linenum", "=", 5),))
+        assert n > 0
+        reopened = Database(tmp_path / "db")
+        assert reopened.sql(
+            "SELECT linenum FROM lineitem WHERE linenum = 5"
+        ).n_rows == 0
+        assert reopened.pending("lineitem") == n
+
+    def test_merge_folds_deletes_into_read_store(self, db):
+        n = db.delete("lineitem", (Predicate("linenum", "=", 2),))
+        assert db.merge("lineitem") == n
+        assert db.pending("lineitem") == 0
+        assert db.sql(
+            "SELECT linenum FROM lineitem WHERE linenum = 2"
+        ).n_rows == 0
+        # The rebuilt projection holds exactly the surviving rows.
+        values = db.projection("lineitem").read_column_values("linenum")
+        assert (values == 2).sum() == 0
+
+
+class TestUpdates:
+    def test_update_rewrites_matches(self, db):
+        before = db.sql(
+            "SELECT quantity FROM lineitem WHERE linenum = 4"
+        ).n_rows
+        n = db.update(
+            "lineitem", (Predicate("linenum", "=", 4),), {"quantity": 33}
+        )
+        assert n == before > 0
+        r = db.sql("SELECT quantity FROM lineitem WHERE linenum = 4")
+        assert r.n_rows == before
+        assert {row[0] for row in r.rows()} == {33}
+
+    def test_update_encodes_dictionary_assignment(self, db):
+        n = db.update(
+            "lineitem", (Predicate("linenum", "=", 6),), {"returnflag": "N"}
+        )
+        assert n > 0
+        r = db.sql("SELECT returnflag FROM lineitem WHERE linenum = 6")
+        assert {row[0] for row in r.decoded_rows()} == {"N"}
+
+    def test_update_unknown_column_rejected(self, db):
+        with pytest.raises(CatalogError, match="nope"):
+            db.update("lineitem", (), {"nope": 1})
+
+    def test_update_is_one_atomic_wal_record(self, db):
+        import json
+
+        n = db.update(
+            "lineitem", (Predicate("linenum", "=", 1),), {"quantity": 9}
+        )
+        assert n > 0
+        wal = db.catalog.root / "_wal" / "lineitem.wal"
+        lines = [
+            json.loads(line)
+            for line in wal.read_text().splitlines() if line
+        ]
+        assert len(lines) == 1
+        assert lines[0]["_op"] == "update"
+        assert len(lines[0]["rows"]) == n
+
+    def test_updates_survive_restart_and_merge(self, db, tmp_path):
+        db.update(
+            "lineitem", (Predicate("linenum", "=", 7),), {"quantity": 55}
+        )
+        reopened = Database(tmp_path / "db")
+        r = reopened.sql("SELECT quantity FROM lineitem WHERE linenum = 7")
+        assert {row[0] for row in r.rows()} == {55}
+        reopened.merge("lineitem")
+        r = reopened.sql("SELECT quantity FROM lineitem WHERE linenum = 7")
+        assert {row[0] for row in r.rows()} == {55}
+        assert reopened.pending("lineitem") == 0
+
+    def test_update_then_delete_composes(self, db):
+        db.update(
+            "lineitem", (Predicate("linenum", "=", 2),), {"quantity": 77}
+        )
+        n = db.delete("lineitem", (Predicate("quantity", "=", 77),))
+        assert n > 0
+        assert db.sql(
+            "SELECT quantity FROM lineitem WHERE quantity = 77"
+        ).n_rows == 0
+
+
+class TestDurabilityKnob:
+    def test_fsync_default_charges_simulated_clock(self, tmp_path):
+        database = Database(tmp_path / "db")
+        load_tpch(database.catalog, scale=0.001, seed=5)
+        assert database.durability == "fsync"
+        before = database.disk.total_fsyncs
+        database.insert("lineitem", [lineitem_row()])
+        assert database.disk.total_fsyncs > before
+
+    def test_flush_mode_skips_wal_fsync(self, tmp_path):
+        database = Database(tmp_path / "db", durability="flush")
+        load_tpch(database.catalog, scale=0.001, seed=5)
+        before = database.disk.total_fsyncs
+        database.insert("lineitem", [lineitem_row()])
+        assert database.disk.total_fsyncs == before
+
+    def test_invalid_mode_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="durability"):
+            Database(tmp_path / "db", durability="yolo")

@@ -20,6 +20,7 @@ from .differential import (
     run_differential,
     run_fault_differential,
     run_partition_differential,
+    run_write_differential,
 )
 
 #: Stored linenum encodings for the compressed axis: the defaults plus
@@ -331,3 +332,64 @@ class TestFaultDifferential:
         # The pool saw every retry the sweep counted (tallies survive the
         # per-run injector resets).
         assert faulted.pool.total_retries >= fault_report.retries
+
+
+@pytest.fixture(scope="module")
+def write_pair(tmp_path_factory):
+    """The same logical data twice, for the merged-vs-pending write axis."""
+    from repro import Database, MetricsRegistry, load_tpch
+
+    root = tmp_path_factory.mktemp("diff_write")
+    merged = Database(root / "merged", metrics=MetricsRegistry())
+    load_tpch(merged.catalog, scale=0.002, seed=7)
+    pending = Database(root / "pending", metrics=MetricsRegistry())
+    load_tpch(pending.catalog, scale=0.002, seed=7)
+    return merged, pending
+
+
+@pytest.fixture(scope="module")
+def write_report(write_pair):
+    """One shared write sweep: 30 queries x 4 strategies x 2 databases."""
+    merged, pending = write_pair
+    return run_write_differential(merged, pending, n_queries=30, seed=SEED)
+
+
+class TestWriteDifferential:
+    """Updates/deletes must read identically merged or pending."""
+
+    def test_pending_matches_merged(self, write_report):
+        assert write_report.mismatches == [], (
+            f"seed={SEED}: {len(write_report.mismatches)} merged/pending "
+            f"divergences, first: {write_report.mismatches[:1]}"
+        )
+
+    def test_write_sweep_is_substantial(self, write_report):
+        # 30 queries x 4 strategies x 2 databases = 240 potential runs;
+        # the known LM-pipelined/bit-vector skips must leave >= 200.
+        assert write_report.queries == 30
+        assert write_report.runs >= 200, (
+            f"only {write_report.runs} runs "
+            f"({write_report.skipped} skipped)"
+        )
+
+    def test_write_encoding_overrides_exercised(self, write_report):
+        assert len(write_report.encodings_used) >= 2, (
+            write_report.encodings_used
+        )
+
+    def test_write_axis_under_parallel_scans(self, tmp_path):
+        # The merge-on-read stitch path must also hold with partitioned
+        # storage fanning out through the scan scheduler.
+        from repro import Database, MetricsRegistry, load_tpch
+
+        merged = Database(tmp_path / "merged", metrics=MetricsRegistry())
+        load_tpch(merged.catalog, scale=0.002, seed=7, partitions=4)
+        with Database(
+            tmp_path / "pending", parallel_scans=2, metrics=MetricsRegistry()
+        ) as pending:
+            load_tpch(pending.catalog, scale=0.002, seed=7, partitions=4)
+            report = run_write_differential(
+                merged, pending, n_queries=8, seed=SEED + 2
+            )
+        assert report.mismatches == [], report.mismatches[:1]
+        assert report.runs >= 48

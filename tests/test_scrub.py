@@ -41,7 +41,7 @@ class TestScrubAPI:
         report = db.scrub(deep=True)
         assert report.clean
         assert report.projections_scanned == 1
-        assert report.files_scanned == 2
+        assert report.files_scanned == 3  # 2 column files + the manifest
         assert report.blocks_scanned > 0
         assert report.to_json()["issues"] == []
 
@@ -122,7 +122,7 @@ class TestScrubAPI:
         db = make_db(tmp_path / "db", partitions=4)
         report = db.scrub()
         assert report.clean
-        assert report.files_scanned == 8
+        assert report.files_scanned == 9  # 8 partition column files + the manifest
         part = db.projection("t").partitions[2]
         path = part.open().column("a").files["uncompressed"]
         d = ColumnFile.open(path).descriptors[0]
@@ -168,3 +168,105 @@ class TestScrubCLI:
         make_db(tmp_path / "db")
         assert main(["scrub", str(tmp_path / "db"), "--quiet"]) == 0
         assert capsys.readouterr().err == ""
+
+
+class TestScrubWritePath:
+    def wal_path(self, root):
+        return root / "db" / "_wal" / "t.wal"
+
+    def test_orphaned_staging_dir_reported(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        (tmp_path / "db" / "tmp-7-t").mkdir()
+        report = db.scrub()  # reopening would garbage-collect the debris
+        assert not report.clean
+        [issue] = report.issues
+        assert issue.projection == "(catalog)"
+        assert "orphaned staging" in issue.error
+        assert issue.to_json()["line"] is None
+
+    def test_missing_manifest_reported(self, tmp_path):
+        make_db(tmp_path / "db")
+        db = Database(tmp_path / "db")  # keep the open handle's view
+        (tmp_path / "db" / "manifest.json").unlink()
+        report = db.scrub()
+        assert any("manifest missing" in i.error for i in report.issues)
+
+    def test_corrupt_manifest_reported(self, tmp_path):
+        make_db(tmp_path / "db")
+        db = Database(tmp_path / "db")
+        (tmp_path / "db" / "manifest.json").write_text("{nope")
+        report = db.scrub()
+        assert any("corrupt catalog manifest" in i.error
+                   for i in report.issues)
+
+    def test_manifest_naming_missing_projection_dir(self, tmp_path):
+        make_db(tmp_path / "db")
+        db = Database(tmp_path / "db")
+        path = tmp_path / "db" / "manifest.json"
+        data = json.loads(path.read_text())
+        data["projections"]["ghost"] = "ghost"
+        path.write_text(json.dumps(data))
+        report = db.scrub()
+        [issue] = [i for i in report.issues if i.projection == "ghost"]
+        assert "metadata is missing" in issue.error
+
+    def test_torn_final_wal_line_is_recoverable(self, tmp_path):
+        # Scrub the damaged bytes directly, before recovery rewrites them.
+        db = make_db(tmp_path / "db")
+        db.insert("t", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        wal = self.wal_path(tmp_path)
+        wal.write_bytes(wal.read_bytes()[:-6])
+        report = db.scrub()
+        [issue] = [i for i in report.issues if "torn" in i.error]
+        assert issue.projection == "t"
+        assert issue.line == 2
+        assert "recoverable" in issue.error
+        # Recovery then drops the torn tail and the store scrubs clean.
+        assert Database(tmp_path / "db").scrub().clean
+
+    def test_mid_file_wal_corruption_names_line(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        db.insert("t", [{"a": 1, "b": 2}, {"a": 3, "b": 4}])
+        wal = self.wal_path(tmp_path)
+        lines = wal.read_text().splitlines()
+        lines[0] = "{broken"
+        wal.write_text("\n".join(lines) + "\n")
+        report = db.scrub()
+        [issue] = [i for i in report.issues if "corrupt WAL record" in i.error]
+        assert issue.line == 1
+        assert "line 1 of 2" in issue.error
+
+    def test_unknown_wal_op_reported(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        db.insert("t", [{"a": 1, "b": 2}])
+        wal = self.wal_path(tmp_path)
+        with open(wal, "a") as f:
+            f.write(json.dumps({"_op": "compact"}) + "\n")
+        report = db.scrub()
+        [issue] = [i for i in report.issues if "unknown WAL record" in i.error]
+        assert issue.line == 2
+        assert "'compact'" in issue.error
+
+    def test_marker_exceeding_wal_records_reported(self, tmp_path):
+        db = make_db(tmp_path / "db")
+        db.insert("t", [{"a": 1, "b": 2}])
+        db.catalog.wal_applied["t"] = 5  # simulate a stale marker in memory
+        report = db.scrub()
+        assert any("marker is 5" in i.error for i in report.issues)
+
+
+class TestZoneMapDeepVerify:
+    def test_divergent_zone_map_reported_deep_only(self, tmp_path):
+        db = make_db(tmp_path / "db", partitions=4)
+        proj = db.projection("t")
+        part = proj.partitions[1]
+        forged = part.zone_maps["a"].__class__(min_value=10**7,
+                                              max_value=10**7 + 1)
+        part.zone_maps["a"] = forged
+        proj._write_meta()
+        db2 = Database(tmp_path / "db")
+        assert db2.scrub().clean  # shallow never decodes values
+        deep = db2.scrub(deep=True)
+        zone = [i for i in deep.issues if "zone map" in i.error]
+        assert zone and zone[0].partition == "part0001"
+        assert "but the partition holds" in zone[0].error

@@ -440,3 +440,77 @@ class TestLoadgen:
         assert cdf[-1] == pytest.approx(1.0)
         assert cdf[0] > 1.0 / 16  # rank 1 carries more than uniform share
         assert all(b >= a for a, b in zip(cdf, cdf[1:]))
+
+
+class TestTransientReconnect:
+    def test_idempotent_request_survives_server_side_close(self, served):
+        db, server = served
+
+        async def go():
+            registry = MetricsRegistry()
+            client = await AsyncQueryClient.connect(
+                server.host, server.port, metrics=registry
+            )
+            first_session = client.session_id
+            # The close op makes the server drop this connection after
+            # replying — the next request hits a dead socket.
+            await client.request({"op": "close"})
+            response = await client.ping()
+            reconnects = registry.counter(
+                "serving.reconnects_total"
+            ).value
+            new_session = client.session_id
+            await client.close()
+            return response, reconnects, first_session, new_session
+
+        response, reconnects, first, new = run(go())
+        assert response["ok"] and response["pong"]
+        assert reconnects == 1
+        assert new != first  # the retry runs on a fresh session
+
+    def test_query_retried_and_answer_identical(self, served):
+        db, server = served
+
+        async def go():
+            client = await AsyncQueryClient.connect(server.host, server.port)
+            await client.request({"op": "close"})
+            response = await client.sql(SQL)
+            await client.close()
+            return response
+
+        response = run(go())
+        assert response["ok"]
+        assert response["n_rows"] == db.sql(SQL).n_rows
+
+    def test_non_idempotent_op_is_never_replayed(self, served):
+        db, server = served
+
+        async def go():
+            client = await AsyncQueryClient.connect(server.host, server.port)
+            await client.request({"op": "close"})
+            with pytest.raises(ConnectionError):
+                await client.set_knobs(strategy="em-pipelined")
+
+        run(go())
+
+    def test_backoff_is_capped_exponential(self, served):
+        from repro.serving.client import (
+            RECONNECT_BACKOFF_BASE,
+            RECONNECT_BACKOFF_CAP,
+        )
+
+        _, server = served
+
+        async def go():
+            client = await AsyncQueryClient.connect(server.host, server.port)
+            await client.request({"op": "close"})
+            client._consecutive_resets = 10  # far past the cap
+            t0 = time.monotonic()
+            await client.ping()
+            elapsed = time.monotonic() - t0
+            await client.close()
+            return elapsed
+
+        elapsed = run(go())
+        assert RECONNECT_BACKOFF_BASE < RECONNECT_BACKOFF_CAP <= 1.0
+        assert elapsed >= RECONNECT_BACKOFF_CAP  # slept the capped backoff
